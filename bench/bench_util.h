@@ -1,0 +1,74 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+//
+// Shared plumbing for the figure-reproduction binaries: replication control,
+// headers that restate the paper's expectation next to our measurement, and
+// CSV output so the series can be re-plotted outside the binary.
+//
+// Environment knobs:
+//   MADNET_BENCH_REPS  — replications per data point (default 3).
+//   MADNET_BENCH_FAST  — if set (non-empty), shrink sweeps for quick runs.
+//   MADNET_BENCH_CSV   — directory for CSV output (default "."; set to an
+//                        empty string to disable CSV files).
+
+#ifndef MADNET_BENCH_BENCH_UTIL_H_
+#define MADNET_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace madnet::bench {
+
+/// Replication / scaling knobs read from the environment.
+struct BenchEnv {
+  int reps = 3;
+  bool fast = false;
+  std::string csv_dir = ".";
+
+  static BenchEnv FromEnvironment() {
+    BenchEnv env;
+    if (const char* reps = std::getenv("MADNET_BENCH_REPS")) {
+      env.reps = std::max(1, std::atoi(reps));
+    }
+    if (const char* fast = std::getenv("MADNET_BENCH_FAST")) {
+      env.fast = fast[0] != '\0';
+    }
+    if (const char* dir = std::getenv("MADNET_BENCH_CSV")) {
+      env.csv_dir = dir;
+    }
+    return env;
+  }
+};
+
+/// Prints the figure banner: what the paper reports, what we regenerate.
+inline void PrintHeader(const std::string& figure, const std::string& paper) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", figure.c_str());
+  std::printf("Paper: %s\n", paper.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Opens a CSV file in the configured directory; returns nullptr when CSV
+/// output is disabled.
+inline std::unique_ptr<CsvWriter> OpenCsv(
+    const BenchEnv& env, const std::string& name,
+    const std::vector<std::string>& header) {
+  if (env.csv_dir.empty()) return nullptr;
+  auto writer =
+      std::make_unique<CsvWriter>(env.csv_dir + "/" + name, header);
+  if (!writer->Ok()) {
+    std::fprintf(stderr, "warning: cannot write %s/%s\n",
+                 env.csv_dir.c_str(), name.c_str());
+    return nullptr;
+  }
+  return writer;
+}
+
+}  // namespace madnet::bench
+
+#endif  // MADNET_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,150 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+//
+// Section III-E evidence: (1) the FM-sketch rank estimate tracks the true
+// number of distinct interested users within the paper's epsilon-delta
+// band while costing a fixed L*F bits per message; (2) the popularity
+// enlargement grows R and D sub-linearly and the expiry bound stays
+// finite; (3) an end-to-end scenario where a popular ad outlives and
+// outreaches an unpopular one.
+
+#include <cmath>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/ranking.h"
+#include "scenario/scenario.h"
+#include "util/table.h"
+
+namespace madnet {
+namespace {
+
+using core::Advertisement;
+using core::EstimatedRank;
+using core::InterestProfile;
+using core::RankAndEnlarge;
+
+void RankAccuracy(const bench::BenchEnv& env) {
+  bench::PrintHeader(
+      "Ranking I — FM rank estimate vs true distinct interested users",
+      "rank(ad) = (1/phi) 2^{sum Min(FM_i)/F} estimates n within ~20% "
+      "(F=16) using only 64 bytes per message, duplicate-insensitive.");
+
+  Table table({"true_users", "rank_estimate", "relative_error",
+               "sketch_bytes"});
+  auto csv = bench::OpenCsv(env, "ranking_accuracy.csv",
+                            {"true_users", "estimate", "relative_error"});
+  for (int n : {10, 30, 100, 300, 1000, 3000, 10000, 30000}) {
+    // Average over a few hash-family seeds, like averaging over ads.
+    double sum_estimate = 0.0;
+    const int trials = std::max(2, env.reps);
+    int sketch_bytes = 0;
+    for (int trial = 0; trial < trials; ++trial) {
+      Advertisement ad;
+      ad.id = {1, 1};
+      ad.content = {"petrol", {}, ""};
+      sketch::FmSketchArray::Options options;
+      options.hash_seed = 0xFEED + static_cast<uint64_t>(trial) * 131;
+      ad.sketches = sketch::FmSketchArray(options);
+      sketch_bytes = (ad.sketches.SizeBits() + 7) / 8;
+      InterestProfile interested({"petrol"});
+      for (int user = 0; user < n; ++user) {
+        RankAndEnlarge(&ad, interested,
+                       static_cast<uint64_t>(user) * 2654435761ULL + trial,
+                       {});
+      }
+      sum_estimate += EstimatedRank(ad);
+    }
+    const double estimate = sum_estimate / trials;
+    const double error = std::abs(estimate - n) / n;
+    table.Row(n, Table::Num(estimate, 1), Table::Num(error, 3),
+              sketch_bytes);
+    if (csv) csv->Row(n, estimate, error);
+  }
+  table.Print();
+}
+
+void EnlargementGrowth(const bench::BenchEnv& env) {
+  bench::PrintHeader(
+      "Ranking II — R/D enlargement and the expiry bound (Formula 7)",
+      "R and D grow by dR/log2(rank+1) per new interested user, so growth "
+      "is bounded; the ad expires even if its rank rises every round.");
+
+  Table table({"interested_users", "radius_m", "duration_s", "rank"});
+  auto csv = bench::OpenCsv(env, "ranking_enlargement.csv",
+                            {"users", "radius_m", "duration_s", "rank"});
+  Advertisement ad;
+  ad.id = {1, 1};
+  ad.content = {"petrol", {}, ""};
+  ad.initial_radius_m = ad.radius_m = 1000.0;
+  ad.initial_duration_s = ad.duration_s = 800.0;
+  InterestProfile interested({"petrol"});
+  int next_report = 1;
+  for (int user = 1; user <= 100000; ++user) {
+    RankAndEnlarge(&ad, interested,
+                   static_cast<uint64_t>(user) * 0x9E3779B97F4A7C15ULL, {});
+    if (user == next_report) {
+      table.Row(user, Table::Num(ad.radius_m, 1),
+                Table::Num(ad.duration_s, 1),
+                Table::Num(EstimatedRank(ad), 1));
+      if (csv) {
+        csv->Row(user, ad.radius_m, ad.duration_s, EstimatedRank(ad));
+      }
+      next_report *= 10;
+    }
+  }
+  table.Print();
+
+  std::printf(
+      "\nExpiry bound: D0=800s, round=5s, dD=0.1*D0 => worst-case expiry at "
+      "%.0f s (finite even under per-round enlargement)\n",
+      core::ExpiryBound(800.0, 5.0, 80.0));
+}
+
+void PopularVsNiche(const bench::BenchEnv& env) {
+  bench::PrintHeader(
+      "Ranking III — end-to-end: popular ad vs niche ad (300 peers)",
+      "A popular ad (category matching most users' interests) ends the run "
+      "with a higher rank and enlarged R/D; a niche ad stays at its "
+      "initial parameters.");
+
+  Table table({"ad", "final_rank", "final_radius_m", "final_duration_s",
+               "delivery_rate_pct"});
+  auto csv = bench::OpenCsv(env, "ranking_popular_vs_niche.csv",
+                            {"ad", "rank", "radius_m", "duration_s",
+                             "delivery_rate_pct"});
+  for (const char* category : {"petrol", "books"}) {
+    scenario::ScenarioConfig config;
+    config.method = scenario::Method::kGossip;
+    config.num_peers = 300;
+    config.sim_time_s = 500.0;  // Inspect caches before expiry.
+    config.initial_duration_s = 800.0;
+    config.gossip.ranking = true;
+    config.assign_interests = true;
+    config.interest_options.universe =
+        core::InterestGenerator::DefaultUniverse();
+    config.content.category = category;
+    config.content.keywords = {category};
+    config.seed = 11;
+    scenario::RunResult result = scenario::RunScenario(config);
+    table.Row(category, Table::Num(result.final_rank, 1),
+              Table::Num(result.final_radius_m, 1),
+              Table::Num(result.final_duration_s, 1),
+              Table::Num(result.DeliveryRatePercent(), 2));
+    if (csv) {
+      csv->Row(category, result.final_rank, result.final_radius_m,
+               result.final_duration_s, result.DeliveryRatePercent());
+    }
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace madnet
+
+int main() {
+  const auto env = madnet::bench::BenchEnv::FromEnvironment();
+  madnet::RankAccuracy(env);
+  madnet::EnlargementGrowth(env);
+  madnet::PopularVsNiche(env);
+  return 0;
+}

@@ -1,0 +1,163 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+//
+// Related-work comparison (paper Section II): Opportunistic Resource
+// Exchange (relevance-ranked, exchange-at-encounter) versus the paper's
+// pure and Optimized Gossiping, across network sizes. The exchange model
+// delivers comparably in dense networks but (a) pays a continuous beacon
+// tax for encounter detection, and (b) bounds only what peers *store*, not
+// what they *send* — the message-count gap the paper's Section II argues
+// motivates the gossiping design.
+
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/resource_exchange.h"
+#include "scenario/scenario.h"
+#include "util/table.h"
+
+namespace madnet {
+namespace {
+
+using scenario::Method;
+using scenario::MethodName;
+using scenario::RunResult;
+using scenario::Scenario;
+using scenario::ScenarioConfig;
+
+struct ExchangeBreakdown {
+  RunResult result;
+  uint64_t beacons = 0;
+  uint64_t batches = 0;
+};
+
+ExchangeBreakdown RunExchange(const ScenarioConfig& config) {
+  Scenario scenario(config);
+  ExchangeBreakdown out;
+  out.result = scenario.Run();
+  for (net::NodeId id = 0;
+       id <= static_cast<net::NodeId>(scenario.num_peers()); ++id) {
+    const auto* exchange =
+        dynamic_cast<const core::ResourceExchange*>(scenario.protocol(id));
+    if (exchange == nullptr) continue;
+    out.beacons += exchange->beacons_sent();
+    out.batches += exchange->exchanges_sent();
+  }
+  return out;
+}
+
+void Run() {
+  const auto env = bench::BenchEnv::FromEnvironment();
+  bench::PrintHeader(
+      "Related work — Resource Exchange vs Gossiping (Section II)",
+      "Exchange-at-encounter delivers comparably when dense, but its "
+      "beacon tax scales with peers x time and dwarfs even Flooding; "
+      "Optimized Gossiping achieves the same delivery for orders of "
+      "magnitude fewer frames and bytes.");
+
+  std::vector<int> sizes = {100, 300, 600, 1000};
+  if (env.fast) sizes = {100, 300};
+
+  auto csv = bench::OpenCsv(
+      env, "related_exchange.csv",
+      {"method", "peers", "delivery_rate_pct", "delivery_time_s",
+       "messages", "kbytes", "beacons", "data_batches"});
+
+  Table table({"peers", "method", "rate_pct", "time_s", "messages",
+               "kbytes", "beacons", "data_frames"});
+  for (int n : sizes) {
+    for (Method method :
+         {Method::kGossip, Method::kOptimized, Method::kResourceExchange}) {
+      ScenarioConfig config;
+      config.method = method;
+      config.num_peers = n;
+      config.seed = 5;
+      uint64_t beacons = 0;
+      uint64_t batches = 0;
+      RunResult result;
+      if (method == Method::kResourceExchange) {
+        ExchangeBreakdown breakdown = RunExchange(config);
+        result = breakdown.result;
+        beacons = breakdown.beacons;
+        batches = breakdown.batches;
+      } else {
+        result = RunScenario(config);
+        batches = result.Messages();
+      }
+      const double kbytes = result.net.bytes_sent / 1024.0;
+      table.Row(n, MethodName(method),
+                Table::Num(result.DeliveryRatePercent(), 2),
+                Table::Num(result.MeanDeliveryTime(), 2), result.Messages(),
+                Table::Num(kbytes, 0), beacons, batches);
+      if (csv) {
+        csv->Row(MethodName(method), n, result.DeliveryRatePercent(),
+                 result.MeanDeliveryTime(), result.Messages(), kbytes,
+                 beacons, batches);
+      }
+    }
+  }
+  table.Print();
+
+  // Second claim of Section II: rank-only forwarding (relevance without
+  // the spatial/temporal decay, as in the query-ranked variants of the
+  // related work) no longer confines the resource to its advertising
+  // area. Compare holder spread with spatial relevance on vs off.
+  bench::PrintHeader(
+      "Related work — spatial confinement under relevance choices",
+      "With distance-decaying relevance, holders concentrate inside the "
+      "advertising area; with rank-only relevance (no spatial decay) the "
+      "resource spreads network-wide — the paper's Section-II critique.");
+
+  Table spread({"relevance", "holders", "mean_dist_m",
+                "holders_beyond_R_pct"});
+  auto spread_csv = bench::OpenCsv(
+      env, "related_exchange_spread.csv",
+      {"relevance", "holders", "mean_dist_m", "holders_beyond_r_pct"});
+  for (const bool spatial : {true, false}) {
+    ScenarioConfig config;
+    config.method = Method::kResourceExchange;
+    config.num_peers = 300;
+    config.sim_time_s = 700.0;  // Sample mid-life.
+    config.seed = 5;
+    if (!spatial) {
+      // Rank-only: age still expires the copy eventually, but distance no
+      // longer matters for keeping or sharing it.
+      config.exchange.distance_weight = 0.0;
+      config.exchange.age_weight = 0.5;
+    }
+    Scenario scenario(config);
+    RunResult result = scenario.Run();
+    int holders = 0;
+    int beyond = 0;
+    double dist_sum = 0.0;
+    for (net::NodeId id = 1;
+         id <= static_cast<net::NodeId>(config.num_peers); ++id) {
+      const auto* peer =
+          dynamic_cast<const core::ResourceExchange*>(scenario.protocol(id));
+      if (peer == nullptr || !peer->Holds(result.ad_key)) continue;
+      ++holders;
+      const double d = Distance(scenario.medium()->PositionOf(id),
+                                config.issue_location);
+      dist_sum += d;
+      if (d > config.initial_radius_m) ++beyond;
+    }
+    const double mean_dist = holders == 0 ? 0.0 : dist_sum / holders;
+    const double beyond_pct =
+        holders == 0 ? 0.0 : 100.0 * beyond / holders;
+    spread.Row(spatial ? "age+distance (paper-style)" : "rank-only",
+               holders, Table::Num(mean_dist, 0),
+               Table::Num(beyond_pct, 1));
+    if (spread_csv) {
+      spread_csv->Row(spatial ? "spatial" : "rank_only", holders, mean_dist,
+                      beyond_pct);
+    }
+  }
+  spread.Print();
+}
+
+}  // namespace
+}  // namespace madnet
+
+int main() {
+  madnet::Run();
+  return 0;
+}

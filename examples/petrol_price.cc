@@ -1,0 +1,158 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+//
+// The paper's petrol-price motivation with the popularity ranking scheme
+// end to end: two petrol stations and one used-book stall issue ads into
+// the same swarm. Most drivers are interested in petrol, almost nobody in
+// second-hand books. The FM-sketch ranking enlarges the petrol ads'
+// advertising area and lifetime while the niche ad keeps its initial
+// parameters — "more popular advertisements benefit more users".
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/opportunistic_gossip.h"
+#include "core/ranking.h"
+#include "mobility/constant_velocity.h"
+#include "mobility/random_waypoint.h"
+#include "net/medium.h"
+#include "sim/simulator.h"
+#include "stats/delivery.h"
+
+namespace {
+
+using namespace madnet;
+using core::CacheEntry;
+using core::GossipOptions;
+using core::InterestGenerator;
+using core::InterestProfile;
+using core::OpportunisticGossip;
+using core::ProtocolContext;
+using mobility::MobilityModel;
+using mobility::RandomWaypoint;
+using mobility::Stationary;
+using net::Medium;
+using net::NodeId;
+using sim::Simulator;
+
+constexpr double kArea = 4000.0;
+constexpr int kDrivers = 250;
+constexpr double kR = 900.0;
+constexpr double kD = 700.0;
+
+struct Issuer {
+  Vec2 at;
+  core::AdContent content;
+};
+
+}  // namespace
+
+int main() {
+  Simulator sim;
+  Medium::Options medium_options;
+  medium_options.max_speed_mps = 20.0;
+  Rng root(99);
+  Medium medium(medium_options, &sim, root.Fork(1));
+  stats::DeliveryLog log;
+
+  const std::vector<Issuer> issuers = {
+      {{1200.0, 2000.0}, {"petrol", {"petrol"}, "E10 at 1.05/L this morning"}},
+      {{2800.0, 2000.0}, {"petrol", {"petrol"}, "diesel 1.19/L until noon"}},
+      {{2000.0, 3200.0}, {"books", {"books"}, "used paperbacks, 50c each"}},
+  };
+
+  std::vector<std::unique_ptr<MobilityModel>> mobilities;
+  std::vector<std::unique_ptr<OpportunisticGossip>> peers;
+
+  // Interests: Zipf over the default universe, whose head is "petrol" and
+  // whose tail contains "books" — most drivers match petrol ads.
+  InterestGenerator::Options interest_options;
+  interest_options.universe = InterestGenerator::DefaultUniverse();
+  InterestGenerator interests(interest_options);
+
+  GossipOptions options = GossipOptions::Optimized();
+  options.ranking = true;
+
+  auto add_node = [&](std::unique_ptr<MobilityModel> mobility,
+                      InterestProfile profile) {
+    const NodeId id = static_cast<NodeId>(mobilities.size());
+    mobilities.push_back(std::move(mobility));
+    if (!medium.AddNode(id, mobilities.back().get()).ok()) std::abort();
+    ProtocolContext context;
+    context.simulator = &sim;
+    context.medium = &medium;
+    context.self = id;
+    context.delivery_log = &log;
+    context.rng = root.Fork(5000 + id);
+    peers.push_back(std::make_unique<OpportunisticGossip>(
+        std::move(context), options, std::move(profile)));
+    peers.back()->Start();
+    return id;
+  };
+
+  // Station / stall handsets (no interests of their own).
+  std::vector<NodeId> issuer_ids;
+  for (const Issuer& issuer : issuers) {
+    issuer_ids.push_back(
+        add_node(std::make_unique<Stationary>(issuer.at), {}));
+  }
+  // Drivers.
+  RandomWaypoint::Options drive;
+  drive.area = Rect{{0.0, 0.0}, {kArea, kArea}};
+  drive.min_speed_mps = 6.0;
+  drive.max_speed_mps = 16.0;
+  for (int i = 0; i < kDrivers; ++i) {
+    Rng interest_rng = root.Fork(900000 + i);
+    add_node(std::make_unique<RandomWaypoint>(drive, root.Fork(100 + i)),
+             interests.Sample(&interest_rng));
+  }
+
+  // All three ads go out at t=20 s; issuers stay online (they are shops),
+  // but the swarm does the advertising.
+  std::vector<uint64_t> ad_keys(issuers.size());
+  sim.ScheduleAt(20.0, [&] {
+    for (size_t i = 0; i < issuers.size(); ++i) {
+      auto issued = peers[issuer_ids[i]]->Issue(issuers[i].content, kR, kD);
+      if (!issued.ok()) std::abort();
+      ad_keys[i] = issued->Key();
+    }
+  });
+
+  // Inspect mid-life, before expiry sweeps clear the caches.
+  sim.RunUntil(20.0 + kD * 0.8);
+
+  std::printf("petrol price update — %d drivers, 3 issuers, ranking on\n\n",
+              kDrivers);
+  std::printf("%-28s %10s %12s %12s %10s %8s\n", "advertisement", "rank",
+              "radius_m", "duration_s", "delivered", "rate%");
+  for (size_t i = 0; i < issuers.size(); ++i) {
+    // The most-enlarged surviving copy across all caches.
+    double rank = 0.0;
+    double radius = 0.0;
+    double duration = 0.0;
+    for (const auto& peer : peers) {
+      const CacheEntry* entry = peer->cache().Find(ad_keys[i]);
+      if (entry == nullptr) continue;
+      rank = std::max(rank, core::EstimatedRank(entry->ad));
+      radius = std::max(radius, entry->ad.radius_m);
+      duration = std::max(duration, entry->ad.duration_s);
+    }
+    stats::AreaTracker tracker(Circle{issuers[i].at, kR}, 20.0,
+                               20.0 + kD * 0.8);
+    for (NodeId id = static_cast<NodeId>(issuers.size());
+         id < mobilities.size(); ++id) {
+      tracker.Observe(id, mobilities[id].get());
+    }
+    const auto report = ComputeDeliveryReport(tracker, log, ad_keys[i]);
+    std::printf("%-28s %10.1f %12.1f %12.1f %10llu %8.1f\n",
+                issuers[i].content.text.substr(0, 28).c_str(), rank, radius,
+                duration,
+                static_cast<unsigned long long>(report.peers_delivered),
+                report.DeliveryRatePercent());
+  }
+  std::printf(
+      "\npopular petrol ads are enlarged well beyond R=%.0f m / D=%.0f s; "
+      "the niche book ad grows far less.\n",
+      kR, kD);
+  return 0;
+}

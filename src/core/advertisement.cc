@@ -1,0 +1,49 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+
+#include "core/advertisement.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "core/ad_codec.h"
+
+namespace madnet::core {
+
+uint32_t AdContent::SizeBytes() const {
+  uint32_t size = static_cast<uint32_t>(category.size() + text.size());
+  for (const auto& keyword : keywords) {
+    size += static_cast<uint32_t>(keyword.size()) + 1;
+  }
+  return size;
+}
+
+uint32_t Advertisement::WireSizeBytes() const {
+  // Exact: the size the binary codec (core/ad_codec.h) would produce.
+  return static_cast<uint32_t>(EncodedSize(*this));
+}
+
+void Advertisement::MergeFrom(const Advertisement& other) {
+  if (!(other.id == id)) return;
+  radius_m = std::max(radius_m, other.radius_m);
+  duration_s = std::max(duration_s, other.duration_s);
+  // Arrays always share options within one scenario; a mismatch is a
+  // programming error upstream and is ignored here.
+  (void)sketches.Merge(other.sketches);
+}
+
+net::Packet MakeGossipPacket(const Advertisement& ad) {
+  net::Packet packet;
+  packet.size_bytes = ad.WireSizeBytes();
+  packet.payload = std::make_shared<GossipMessage>(ad);
+  return packet;
+}
+
+net::Packet MakeFloodPacket(const Advertisement& ad, uint32_t round,
+                            double radius_limit) {
+  net::Packet packet;
+  packet.size_bytes = ad.WireSizeBytes() + 12;  // Round + radius fields.
+  packet.payload = std::make_shared<FloodMessage>(ad, round, radius_limit);
+  return packet;
+}
+
+}  // namespace madnet::core

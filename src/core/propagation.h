@@ -1,0 +1,104 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+//
+// The propagation mathematics of the opportunistic gossiping model —
+// Formulas 1-4 of the paper (Section III).
+//
+// The paper's formulas use exponentials of raw distance/age differences;
+// figures 2/3/5 were plotted with R ~ 100 and D ~ 50 "units". We keep the
+// formulas exact but measure the exponents in configurable units. Figure 2's
+// described shape — "P decreases slowly if d < R_t, drops drastically when d
+// is close to R_t, and approximates to 0 when d is larger than R_t" — needs
+// *asymmetric* units: a coarse unit inside the area (so alpha visibly
+// shapes the probability field, reproducing the Figure 10(a) sensitivity)
+// and a fine unit outside (so forwarding beyond R_t is negligible for every
+// alpha). Defaults: 100 m inside, 10 m outside, 10 s for Formula 2. See
+// DESIGN.md ("Parameter reconstruction").
+//
+//   Formula 1 (forwarding probability at distance d, advertising radius r;
+//   u = inside unit, w = outside unit):
+//       P(d) = 1 - alpha^{ (r - d)/u + 1 }          if d <= r
+//       P(d) = (1 - alpha) * alpha^{ (d - r)/w }     if d >  r
+//   Continuous at d = r (both sides give 1 - alpha), nearly 1 deep inside
+//   the area, dropping as d approaches r, and vanishing geometrically
+//   (fast) outside — exactly the shape of the paper's Figure 2.
+//
+//   Formula 2 (advertising radius at age t):
+//       R_t = (1 - beta^{ (D - t)/v + 1 }) * R       if t <= D
+//       R_t = 0                                      if t >  D
+//   Nearly R for most of the lifetime, collapsing only as t approaches D
+//   (Figure 3); beta has little effect on metrics, as Section IV-C notes.
+//
+//   Formula 3 (Optimization 1, velocity/annulus constraint): peers inside
+//   the central disc of radius r - DIS gossip with a probability that
+//   decays towards the centre; the annulus [r - DIS, r] keeps Formula 1:
+//       P(d) = 1 - alpha^{ (r - d)/u + 1 }                 r-DIS <= d <= r
+//       P(d) = (1 - alpha) * alpha^{ (d - r)/w }           d > r
+//       P(d) = (1 - alpha^{ DIS/u + 1 }) * alpha^{ (r-DIS-d)/w }  d < r-DIS
+//   Continuous at d = r - DIS and d = r (Figure 5); the central
+//   suppression decays with the fine unit, so the disc is truly quiet.
+//
+//   Formula 4 (Optimization 2, gossip postponement on overhearing): when a
+//   peer overhears a neighbour broadcast an ad it also caches, it pushes
+//   its own scheduled gossip for that ad back by
+//       interval = round_time * e^{p} * p * cos(theta / 2)
+//   where p is the fraction of the peer's transmission area overlapped by
+//   the sender's (p in [2/3 - sqrt(3)/(2 pi), 1] when in range) and theta
+//   in [0, pi] is the angle between the peer's velocity and the direction
+//   towards the sender. Closer senders (p -> 1) and head-on approach
+//   (theta -> 0) postpone the most.
+
+#ifndef MADNET_CORE_PROPAGATION_H_
+#define MADNET_CORE_PROPAGATION_H_
+
+namespace madnet::core {
+
+/// Tuning parameters of the propagation model (paper Table I).
+struct PropagationParams {
+  double alpha = 0.5;          ///< Probability drop rate, in (0, 1).
+  double beta = 0.5;           ///< Radius decay rate, in (0, 1).
+  double distance_unit_m = 100.0; ///< Metres per exponent unit inside the
+                                  ///< advertising area (Formula 1/3).
+  double outside_unit_m = 10.0;   ///< Metres per exponent unit outside the
+                                  ///< area and in the suppressed centre.
+  double time_unit_s = 10.0;      ///< Seconds per exponent unit (Formula 2).
+
+  /// True iff all parameters are in their legal ranges.
+  bool Valid() const {
+    return alpha > 0.0 && alpha < 1.0 && beta > 0.0 && beta < 1.0 &&
+           distance_unit_m > 0.0 && outside_unit_m > 0.0 && time_unit_s > 0.0;
+  }
+};
+
+/// Formula 2: advertising radius at age `age_s`, given the ad's current
+/// radius `r_m` and duration `d_s`. Returns 0 once the ad has expired.
+double RadiusAtAge(double r_m, double d_s, double age_s,
+                   const PropagationParams& params);
+
+/// Formula 1: probability of forwarding an ad when `distance_m` away from
+/// the issuing location and the advertising radius is `radius_m` (i.e. R_t;
+/// pass the Formula 2 result). Returns 0 for a non-positive radius.
+double ForwardingProbability(double distance_m, double radius_m,
+                             const PropagationParams& params);
+
+/// Formula 3: Optimization-1 probability with annulus width `dis_m`.
+/// Falls back to Formula 1 when dis_m >= radius_m (annulus covers the
+/// whole area). Returns 0 for a non-positive radius.
+double AnnulusForwardingProbability(double distance_m, double radius_m,
+                                    double dis_m,
+                                    const PropagationParams& params);
+
+/// Formula 4: how far to push back the next scheduled gossip after
+/// overhearing a duplicate. `overlap_fraction` is
+/// TransmissionOverlapFraction(range, distance-to-sender); `angle_rad` is
+/// ApproachAngle(velocity, self, sender). Result is in seconds, >= 0.
+double PostponeInterval(double round_time_s, double overlap_fraction,
+                        double angle_rad);
+
+/// Width of the Optimization-1 annulus implied by the velocity constraint:
+/// DIS = V_max * round_time (paper Section III-D). Implementations may use
+/// a larger configured DIS to trade messages for delivery rate.
+double VelocityConstrainedDis(double max_speed_mps, double round_time_s);
+
+}  // namespace madnet::core
+
+#endif  // MADNET_CORE_PROPAGATION_H_

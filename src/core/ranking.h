@@ -1,0 +1,52 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+//
+// Advertisement popularity ranking (paper, Section III-E): a duplicate-
+// insensitive count of distinct interested users via the piggy-backed FM
+// sketches (Formula 6), and the enlargement of R and D for popular ads
+// (Formula 7 / Algorithm 5).
+
+#ifndef MADNET_CORE_RANKING_H_
+#define MADNET_CORE_RANKING_H_
+
+#include <cstdint>
+
+#include "core/advertisement.h"
+#include "core/interest.h"
+
+namespace madnet::core {
+
+/// Knobs of the popularity scheme.
+struct RankingOptions {
+  /// Per-enlargement increments as fractions of the *initial* R0 and D0:
+  /// each rank increase adds fraction * R0 / log2(rank + 1) to R (and the
+  /// analogue to D). The harmonic-like divisor bounds total growth, so an
+  /// ad expires even if its rank rises every round (paper, Section III-E).
+  double radius_increment_fraction = 0.1;
+  double duration_increment_fraction = 0.1;
+};
+
+/// Formula 6: the estimated number of distinct users whose interests match
+/// the ad, read from its FM sketches.
+double EstimatedRank(const Advertisement& ad);
+
+/// Algorithm 5: if the ad matches `interests`, hashes `user_id` into the
+/// ad's sketches; if the estimated rank rose (i.e. this user was new to the
+/// sketches), enlarges the ad's R and D per Formula 7. Returns true iff an
+/// enlargement happened. Mutates `ad` in place (the cached copy).
+bool RankAndEnlarge(Advertisement* ad, const InterestProfile& interests,
+                    uint64_t user_id, const RankingOptions& options);
+
+/// Formula 7 in isolation: the R (or D) increment for a given rank:
+/// increment_base / log2(rank + 1). Exposed for tests and analysis.
+double EnlargementIncrement(double increment_base, double rank);
+
+/// Upper bound on the age at which an ad whose rank is enlarged on every
+/// gossip round still expires: smallest k * round_time such that
+/// k * round_time > D0 + sum_{j=1..k} dD/log2(j + 1) (paper's expiry
+/// argument). Returns the bound in seconds.
+double ExpiryBound(double d0_s, double round_time_s,
+                   double duration_increment_s);
+
+}  // namespace madnet::core
+
+#endif  // MADNET_CORE_RANKING_H_

@@ -1,0 +1,51 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+//
+// Deterministic straight-line mobility with boundary reflection. Used by
+// tests (exact positions are predictable) and by examples that want
+// scripted motion (e.g. a vehicle driving past a shop).
+
+#ifndef MADNET_MOBILITY_CONSTANT_VELOCITY_H_
+#define MADNET_MOBILITY_CONSTANT_VELOCITY_H_
+
+#include "mobility/mobility_model.h"
+
+namespace madnet::mobility {
+
+/// Moves in a straight line at constant speed, reflecting off the walls of
+/// a rectangular area like a billiard ball. A zero velocity yields a
+/// stationary node.
+class ConstantVelocity : public MobilityModel {
+ public:
+  /// Starts at `position` moving with `velocity` (m/s) inside `area`.
+  /// `position` must lie inside `area`.
+  ConstantVelocity(const Rect& area, const Vec2& position,
+                   const Vec2& velocity);
+
+ protected:
+  Leg NextLeg(const Leg* previous) override;
+
+ private:
+  Rect area_;
+  Vec2 start_position_;
+  Vec2 velocity_;  // Current direction; components flip on reflection.
+};
+
+/// A node that never moves; convenience for issuers and tests.
+class Stationary : public MobilityModel {
+ public:
+  explicit Stationary(const Vec2& position) : position_(position) {}
+
+ protected:
+  Leg NextLeg(const Leg* previous) override {
+    const Time start = previous == nullptr ? 0.0 : previous->end;
+    // Long stationary legs; extended on demand.
+    return Leg{start, start + 3600.0, position_, position_};
+  }
+
+ private:
+  Vec2 position_;
+};
+
+}  // namespace madnet::mobility
+
+#endif  // MADNET_MOBILITY_CONSTANT_VELOCITY_H_

@@ -1,0 +1,41 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+
+#include "mobility/trace.h"
+
+namespace madnet::mobility {
+
+Trace Trace::Record(MobilityModel* model, Time horizon) {
+  model->EnsureHorizon(horizon);
+  return Trace(model->legs());
+}
+
+StatusOr<Trace> Trace::FromLegs(std::vector<Leg> legs) {
+  if (legs.empty()) return Status::InvalidArgument("trace has no legs");
+  if (legs.front().start != 0.0) {
+    return Status::InvalidArgument("trace must start at time 0");
+  }
+  for (size_t i = 0; i < legs.size(); ++i) {
+    if (legs[i].end < legs[i].start) {
+      return Status::InvalidArgument("trace leg runs backwards in time");
+    }
+    if (i > 0) {
+      if (legs[i].start != legs[i - 1].end) {
+        return Status::InvalidArgument("trace legs do not abut in time");
+      }
+      if (!(legs[i].from == legs[i - 1].to)) {
+        return Status::InvalidArgument("trace legs do not abut in space");
+      }
+    }
+  }
+  return Trace(std::move(legs));
+}
+
+Leg TraceReplay::NextLeg(const Leg* previous) {
+  if (next_ < trace_.legs().size()) return trace_.legs()[next_++];
+  // Past the horizon: stay at the final position.
+  const Time start = previous == nullptr ? 0.0 : previous->end;
+  const Vec2 at = previous == nullptr ? Vec2{0.0, 0.0} : previous->to;
+  return Leg{start, start + 3600.0, at, at};
+}
+
+}  // namespace madnet::mobility

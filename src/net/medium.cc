@@ -1,0 +1,278 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+
+#include "net/medium.h"
+
+#include <algorithm>
+
+#include <cassert>
+#include <cmath>
+
+namespace madnet::net {
+
+Medium::Medium(const Options& options, Simulator* simulator, Rng rng)
+    : options_(options),
+      simulator_(simulator),
+      rng_(rng),
+      index_(options.range_m > 0.0 ? options.range_m : 1.0) {
+  assert(simulator != nullptr);
+  assert(options.range_m > 0.0);
+  assert(options.max_latency_s >= options.min_latency_s &&
+         options.min_latency_s >= 0.0);
+  assert(options.loss_probability >= 0.0 && options.loss_probability <= 1.0);
+}
+
+Status Medium::AddNode(NodeId id, MobilityModel* mobility) {
+  if (mobility == nullptr) {
+    return Status::InvalidArgument("mobility model must not be null");
+  }
+  auto [it, inserted] = nodes_.try_emplace(id);
+  if (!inserted) return Status::AlreadyExists("node id already registered");
+  it->second.mobility = mobility;
+  ids_.push_back(id);
+  index_time_ = -1.0;  // Force reindex: the node set changed.
+  return Status::Ok();
+}
+
+Status Medium::SetReceiver(NodeId id, ReceiveHandler handler) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) return Status::NotFound("unknown node id");
+  it->second.handler = std::move(handler);
+  return Status::Ok();
+}
+
+Status Medium::SetOnline(NodeId id, bool online) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) return Status::NotFound("unknown node id");
+  it->second.online = online;
+  return Status::Ok();
+}
+
+uint64_t Medium::SentBy(NodeId id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? 0 : it->second.sent;
+}
+
+uint64_t Medium::SentBytesBy(NodeId id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? 0 : it->second.sent_bytes;
+}
+
+uint64_t Medium::ReceivedBy(NodeId id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? 0 : it->second.received;
+}
+
+uint64_t Medium::ReceivedBytesBy(NodeId id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? 0 : it->second.received_bytes;
+}
+
+bool Medium::IsOnline(NodeId id) const {
+  auto it = nodes_.find(id);
+  return it != nodes_.end() && it->second.online;
+}
+
+Vec2 Medium::PositionOf(NodeId id) const {
+  auto it = nodes_.find(id);
+  assert(it != nodes_.end() && "PositionOf on unknown node");
+  return it->second.mobility->PositionAt(simulator_->Now());
+}
+
+Vec2 Medium::VelocityOf(NodeId id) const {
+  auto it = nodes_.find(id);
+  assert(it != nodes_.end() && "VelocityOf on unknown node");
+  return it->second.mobility->VelocityAt(simulator_->Now());
+}
+
+double Medium::RefreshIndex() const {
+  const Time now = simulator_->Now();
+  if (index_time_ < 0.0 || now - index_time_ > options_.reindex_interval_s) {
+    std::vector<std::pair<NodeId, Vec2>> positions;
+    positions.reserve(nodes_.size());
+    for (NodeId id : ids_) {
+      const NodeState& state = nodes_.at(id);
+      positions.emplace_back(id, state.mobility->PositionAt(now));
+    }
+    index_.Rebuild(positions);
+    index_time_ = now;
+  }
+  // Indexed positions are up to (now - index_time_) old; both endpoints of a
+  // distance check may each have moved max_speed * staleness, so a query
+  // enlarged by twice that is a guaranteed superset.
+  return 2.0 * options_.max_speed_mps * (simulator_->Now() - index_time_);
+}
+
+std::vector<NodeId> Medium::NeighborsOf(const Vec2& center,
+                                        double radius) const {
+  const double slack = RefreshIndex();
+  std::vector<NodeId> candidates;
+  index_.QueryRange(center, radius + slack, &candidates);
+
+  const Time now = simulator_->Now();
+  const double r2 = radius * radius;
+  std::vector<NodeId> result;
+  result.reserve(candidates.size());
+  for (NodeId id : candidates) {
+    const NodeState& state = nodes_.at(id);
+    if (!state.online) continue;
+    if (DistanceSquared(state.mobility->PositionAt(now), center) <= r2) {
+      result.push_back(id);
+    }
+  }
+  return result;
+}
+
+Status Medium::Broadcast(NodeId from, const Packet& packet) {
+  auto it = nodes_.find(from);
+  if (it == nodes_.end()) return Status::NotFound("unknown sender");
+  if (!it->second.online) {
+    return Status::FailedPrecondition("sender is offline");
+  }
+  if (options_.csma) {
+    CsmaTryTransmit(from, packet, 0);
+    return Status::Ok();
+  }
+
+  stats_.messages_sent += 1;
+  stats_.bytes_sent += packet.size_bytes;
+  it->second.sent += 1;
+  it->second.sent_bytes += packet.size_bytes;
+
+  // Reception set is fixed at transmission time (propagation is effectively
+  // instantaneous relative to node motion); the jittered delay models MAC
+  // access plus processing.
+  const Vec2 origin = PositionOf(from);
+  if (observer_) observer_(from, packet, origin);
+  for (NodeId to : NeighborsOf(origin, options_.range_m)) {
+    if (to == from) continue;
+    if (rng_.Bernoulli(options_.loss_probability)) {
+      stats_.dropped_loss += 1;
+      continue;
+    }
+    if (options_.fading_exponent > 0.0) {
+      const double fraction =
+          Distance(PositionOf(to), origin) / options_.range_m;
+      if (rng_.Bernoulli(std::pow(fraction, options_.fading_exponent))) {
+        stats_.dropped_loss += 1;
+        continue;
+      }
+    }
+    const double latency =
+        rng_.Uniform(options_.min_latency_s, options_.max_latency_s);
+    simulator_->Schedule(latency, [this, from, to, packet]() {
+      Deliver(from, to, packet);
+    });
+  }
+  return Status::Ok();
+}
+
+void Medium::CsmaTryTransmit(NodeId from, Packet packet, int attempt) {
+  auto it = nodes_.find(from);
+  if (it == nodes_.end()) return;
+  NodeState& sender = it->second;
+  if (!sender.online) return;  // Went offline while deferring.
+
+  const Time now = simulator_->Now();
+  if (sender.channel_busy_until > now) {
+    // Carrier sensed busy: defer until it frees, plus a random backoff.
+    if (attempt >= options_.max_mac_retries) {
+      stats_.dropped_mac_busy += 1;
+      return;
+    }
+    stats_.mac_defers += 1;
+    const double wait = (sender.channel_busy_until - now) +
+                        rng_.Uniform(0.0, options_.max_backoff_s);
+    simulator_->Schedule(wait, [this, from, packet = std::move(packet),
+                                attempt]() {
+      CsmaTryTransmit(from, packet, attempt + 1);
+    });
+    return;
+  }
+  CsmaTransmit(from, packet);
+}
+
+void Medium::CsmaTransmit(NodeId from, const Packet& packet) {
+  const Time now = simulator_->Now();
+  const double airtime =
+      options_.mac_overhead_s +
+      static_cast<double>(packet.size_bytes) * 8.0 / options_.bitrate_bps;
+  const Time end = now + airtime;
+
+  NodeState& sender = nodes_.at(from);
+  stats_.messages_sent += 1;
+  stats_.bytes_sent += packet.size_bytes;
+  sender.sent += 1;
+  sender.sent_bytes += packet.size_bytes;
+  sender.channel_busy_until = std::max(sender.channel_busy_until, end);
+
+  const Vec2 origin = PositionOf(from);
+  if (observer_) observer_(from, packet, origin);
+
+  for (NodeId to : NeighborsOf(origin, options_.range_m)) {
+    if (to == from) continue;
+    NodeState& receiver = nodes_.at(to);
+    // The receiver was already mid-reception of another frame: this frame
+    // is garbled at that receiver (capture effect: the earlier frame
+    // survives). Either way the carrier extends the busy period.
+    const bool garbled = receiver.channel_busy_until > now;
+    receiver.channel_busy_until =
+        std::max(receiver.channel_busy_until, end);
+    if (garbled) {
+      stats_.dropped_collision += 1;
+      continue;
+    }
+    if (rng_.Bernoulli(options_.loss_probability)) {
+      stats_.dropped_loss += 1;
+      continue;
+    }
+    if (options_.fading_exponent > 0.0) {
+      const double fraction =
+          Distance(PositionOf(to), origin) / options_.range_m;
+      if (rng_.Bernoulli(std::pow(fraction, options_.fading_exponent))) {
+        stats_.dropped_loss += 1;
+        continue;
+      }
+    }
+    // Reception completes when the frame's airtime ends.
+    simulator_->Schedule(airtime, [this, from, to, packet]() {
+      auto it = nodes_.find(to);
+      if (it == nodes_.end()) return;
+      if (!it->second.online) {
+        stats_.dropped_offline += 1;
+        return;
+      }
+      stats_.deliveries += 1;
+      it->second.received += 1;
+      it->second.received_bytes += packet.size_bytes;
+      if (it->second.handler) it->second.handler(packet, from, to);
+    });
+  }
+}
+
+void Medium::Deliver(NodeId from, NodeId to, const Packet& packet) {
+  auto it = nodes_.find(to);
+  if (it == nodes_.end()) return;  // Node disappeared; nothing to do.
+  NodeState& state = it->second;
+  if (!state.online) {
+    stats_.dropped_offline += 1;
+    return;
+  }
+  const Time now = simulator_->Now();
+  if (options_.enable_collisions && state.last_rx_time >= 0.0 &&
+      state.last_rx_from != from &&
+      now - state.last_rx_time < options_.collision_window_s) {
+    // Two frames from different senders overlap at this receiver.
+    stats_.dropped_collision += 1;
+    state.last_rx_time = now;
+    state.last_rx_from = from;
+    return;
+  }
+  state.last_rx_time = now;
+  state.last_rx_from = from;
+  stats_.deliveries += 1;
+  state.received += 1;
+  state.received_bytes += packet.size_bytes;
+  if (state.handler) state.handler(packet, from, to);
+}
+
+}  // namespace madnet::net

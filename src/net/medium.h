@@ -1,0 +1,191 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+//
+// The shared wireless broadcast medium — the repo's substitute for ns-2's
+// 802.11 PHY/MAC. Unit-disk propagation with configurable transmission
+// range, per-receiver latency jitter, optional random loss, and an optional
+// collision model. Every node in range of a broadcast receives it (wireless
+// broadcasts are inherently promiscuous, which is what gossip
+// Optimization 2's overhearing relies on).
+
+#ifndef MADNET_NET_MEDIUM_H_
+#define MADNET_NET_MEDIUM_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "mobility/mobility_model.h"
+#include "net/packet.h"
+#include "net/spatial_index.h"
+#include "sim/simulator.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace madnet::net {
+
+using mobility::MobilityModel;
+using sim::Simulator;
+using sim::Time;
+
+/// Traffic counters, cumulative over the run. "Messages" counts broadcasts
+/// (one frame per broadcast regardless of receiver count), matching the
+/// paper's Number-of-Messages metric.
+struct MediumStats {
+  uint64_t messages_sent = 0;       ///< Broadcast frames put on the air.
+  uint64_t bytes_sent = 0;          ///< Sum of frame sizes.
+  uint64_t deliveries = 0;          ///< Per-receiver successful deliveries.
+  uint64_t dropped_loss = 0;        ///< Per-receiver random losses.
+  uint64_t dropped_collision = 0;   ///< Per-receiver collision losses.
+  uint64_t dropped_offline = 0;     ///< Receiver was offline at delivery.
+  uint64_t dropped_mac_busy = 0;    ///< CSMA: frame gave up after retries.
+  uint64_t mac_defers = 0;          ///< CSMA: busy-channel backoffs taken.
+};
+
+/// The broadcast medium connecting all nodes of a scenario.
+class Medium {
+ public:
+  /// PHY/MAC parameters.
+  struct Options {
+    double range_m = 250.0;        ///< Unit-disk transmission range.
+    double max_speed_mps = 15.0;   ///< Upper bound on node speed (for index
+                                   ///< staleness slack).
+    double reindex_interval_s = 1.0;  ///< Spatial index refresh period.
+    double min_latency_s = 0.5e-3;    ///< Per-receiver delivery latency low.
+    double max_latency_s = 2.0e-3;    ///< Per-receiver delivery latency high.
+    double loss_probability = 0.0;    ///< Independent per-receiver loss.
+    /// Distance-dependent fading: an additional per-receiver drop with
+    /// probability (d / range)^fading_exponent. 0 disables (pure unit
+    /// disk); larger exponents concentrate the loss at the cell edge,
+    /// crudely modelling shadowing at the fringe of 802.11 range.
+    double fading_exponent = 0.0;
+    bool enable_collisions = false;   ///< Drop overlapping receptions.
+    double collision_window_s = 1.0e-3;  ///< Frames from different senders
+                                         ///< closer than this collide.
+
+    /// --- CSMA/CA mode (a closer 802.11 substitute) ---
+    /// When true, transmissions occupy the channel for their airtime
+    /// (mac_overhead + bits/bitrate), senders carrier-sense and back off
+    /// while the channel is busy at their location, neighbours defer, and
+    /// overlapping receptions at a node garble the later frame (capture
+    /// effect: the earlier one survives). Hidden terminals emerge
+    /// naturally: two senders out of each other's range can both sense
+    /// idle and collide at a node in between. The ideal mode (default)
+    /// keeps the jittered-latency model above.
+    bool csma = false;
+    double bitrate_bps = 1.0e6;       ///< Channel rate (early 802.11).
+    double mac_overhead_s = 0.5e-3;   ///< Preamble + IFS per frame.
+    double max_backoff_s = 4.0e-3;    ///< Random defer when busy.
+    int max_mac_retries = 16;         ///< Drop the frame after this many
+                                      ///< consecutive busy defers.
+  };
+
+  /// Called on packet arrival: (packet, sender, receiver).
+  using ReceiveHandler =
+      std::function<void(const Packet&, NodeId from, NodeId to)>;
+
+  /// Called once per broadcast, at transmission time, with the sender and
+  /// its position. Used by instrumentation (e.g. message-density maps).
+  using BroadcastObserver =
+      std::function<void(NodeId from, const Packet&, const Vec2& origin)>;
+
+  /// The medium schedules deliveries on `simulator` and draws jitter/loss
+  /// from `rng`. Both must outlive the medium.
+  Medium(const Options& options, Simulator* simulator, Rng rng);
+
+  /// Registers a node with its mobility model (borrowed; must outlive the
+  /// medium). Returns AlreadyExists if the id is taken.
+  Status AddNode(NodeId id, MobilityModel* mobility);
+
+  /// Sets the upcall invoked when `id` receives a packet.
+  Status SetReceiver(NodeId id, ReceiveHandler handler);
+
+  /// Marks a node on/off-line. Offline nodes neither send nor receive
+  /// (the paper's issuer "goes off-line" after seeding the ad).
+  Status SetOnline(NodeId id, bool online);
+
+  /// True iff the node exists and is online.
+  bool IsOnline(NodeId id) const;
+
+  /// Broadcasts `packet` from node `from` to every online node currently
+  /// within range. Counts one message (in CSMA mode, when the frame
+  /// actually transmits; a frame that exhausts its MAC retries is counted
+  /// in dropped_mac_busy instead). Returns FailedPrecondition if the
+  /// sender is offline, NotFound if it was never added.
+  Status Broadcast(NodeId from, const Packet& packet);
+
+  /// Current position of a node (exact, from its mobility model).
+  Vec2 PositionOf(NodeId id) const;
+
+  /// Current velocity of a node.
+  Vec2 VelocityOf(NodeId id) const;
+
+  /// Ids of online nodes within `radius` of `center` right now (exact).
+  std::vector<NodeId> NeighborsOf(const Vec2& center, double radius) const;
+
+  /// Installs (or clears, with nullptr) the per-broadcast observer.
+  void SetBroadcastObserver(BroadcastObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// Cumulative traffic counters.
+  const MediumStats& stats() const { return stats_; }
+
+  /// Per-node radio accounting (0 for unknown ids). Together with
+  /// stats() these support per-peer load and energy analysis (e.g. how
+  /// Optimization 1 concentrates forwarding on annulus peers, and what
+  /// each method costs a battery-powered handset).
+  uint64_t SentBy(NodeId id) const;          ///< Frames transmitted.
+  uint64_t SentBytesBy(NodeId id) const;     ///< Bytes transmitted.
+  uint64_t ReceivedBy(NodeId id) const;      ///< Frames delivered to it.
+  uint64_t ReceivedBytesBy(NodeId id) const; ///< Bytes delivered to it.
+
+  /// All registered node ids, in insertion order.
+  const std::vector<NodeId>& node_ids() const { return ids_; }
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct NodeState {
+    MobilityModel* mobility = nullptr;
+    ReceiveHandler handler;
+    bool online = true;
+    uint64_t sent = 0;            // Frames transmitted by this node.
+    uint64_t sent_bytes = 0;      // Bytes transmitted by this node.
+    uint64_t received = 0;        // Frames delivered to this node.
+    uint64_t received_bytes = 0;  // Bytes delivered to this node.
+    // Collision model: time and sender of the most recent reception.
+    Time last_rx_time = -1.0;
+    NodeId last_rx_from = kInvalidNodeId;
+    // CSMA: the channel at this node is occupied until this instant.
+    Time channel_busy_until = -1.0;
+  };
+
+  /// Rebuilds the spatial index if stale, and returns the slack to add to
+  /// query radii so stale entries still yield a superset.
+  double RefreshIndex() const;
+
+  void Deliver(NodeId from, NodeId to, const Packet& packet);
+
+  /// CSMA: one carrier-sense attempt; transmits, or reschedules itself
+  /// after a backoff while the channel at the sender is busy.
+  void CsmaTryTransmit(NodeId from, Packet packet, int attempt);
+
+  /// CSMA: performs the actual on-air transmission (channel occupation,
+  /// per-receiver capture/garble decision, delayed deliveries).
+  void CsmaTransmit(NodeId from, const Packet& packet);
+
+  Options options_;
+  Simulator* simulator_;
+  mutable Rng rng_;
+  std::unordered_map<NodeId, NodeState> nodes_;
+  std::vector<NodeId> ids_;
+  mutable SpatialIndex index_;
+  mutable Time index_time_ = -1.0;
+  MediumStats stats_;
+  BroadcastObserver observer_;
+};
+
+}  // namespace madnet::net
+
+#endif  // MADNET_NET_MEDIUM_H_

@@ -1,0 +1,38 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+//
+// Wire-level types of the wireless substrate. The medium is payload-
+// agnostic: protocols attach any Payload subclass; size accounting uses the
+// declared wire size.
+
+#ifndef MADNET_NET_PACKET_H_
+#define MADNET_NET_PACKET_H_
+
+#include <cstdint>
+#include <memory>
+
+namespace madnet::net {
+
+/// Identifier of a network node (stable for the lifetime of a scenario).
+using NodeId = uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNodeId = 0xFFFFFFFFu;
+
+/// Base class for anything a packet can carry. Payloads are immutable once
+/// broadcast (shared by every receiver), mirroring real radio broadcast.
+struct Payload {
+  virtual ~Payload() = default;
+};
+
+/// One over-the-air frame. All madnet transmissions are local broadcasts
+/// ("the broadcast nature of wireless transmission is exploited to transfer
+/// an advertisement to all neighbour peers by one single message" — paper,
+/// Section III-A).
+struct Packet {
+  std::shared_ptr<const Payload> payload;  ///< Immutable shared body.
+  uint32_t size_bytes = 0;                 ///< Modelled wire size.
+};
+
+}  // namespace madnet::net
+
+#endif  // MADNET_NET_PACKET_H_

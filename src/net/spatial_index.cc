@@ -1,0 +1,48 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+
+#include "net/spatial_index.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace madnet::net {
+
+SpatialIndex::SpatialIndex(double cell_size) : cell_size_(cell_size) {
+  assert(cell_size > 0.0);
+}
+
+SpatialIndex::CellKey SpatialIndex::KeyFor(const Vec2& p) const {
+  return CellKey{static_cast<int32_t>(std::floor(p.x / cell_size_)),
+                 static_cast<int32_t>(std::floor(p.y / cell_size_))};
+}
+
+void SpatialIndex::Rebuild(
+    const std::vector<std::pair<NodeId, Vec2>>& positions) {
+  // Reuse bucket storage across rebuilds to avoid churn.
+  for (auto& [key, bucket] : cells_) bucket.clear();
+  count_ = positions.size();
+  for (const auto& [id, position] : positions) {
+    cells_[KeyFor(position)].push_back(Point{id, position});
+  }
+}
+
+void SpatialIndex::QueryRange(const Vec2& center, double radius,
+                              std::vector<NodeId>* out) const {
+  assert(radius >= 0.0);
+  const double r2 = radius * radius;
+  const CellKey lo = KeyFor({center.x - radius, center.y - radius});
+  const CellKey hi = KeyFor({center.x + radius, center.y + radius});
+  for (int32_t cx = lo.cx; cx <= hi.cx; ++cx) {
+    for (int32_t cy = lo.cy; cy <= hi.cy; ++cy) {
+      auto it = cells_.find(CellKey{cx, cy});
+      if (it == cells_.end()) continue;
+      for (const Point& point : it->second) {
+        if (DistanceSquared(point.position, center) <= r2) {
+          out->push_back(point.id);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace madnet::net

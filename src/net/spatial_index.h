@@ -1,0 +1,70 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+//
+// Uniform-grid spatial index over node positions. The broadcast medium
+// rebuilds it periodically (virtual time) and range-queries it on every
+// transmission; exact distance filtering happens on live positions, so the
+// index only needs to return a superset (see Medium for the slack logic).
+
+#ifndef MADNET_NET_SPATIAL_INDEX_H_
+#define MADNET_NET_SPATIAL_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.h"
+#include "util/geometry.h"
+
+namespace madnet::net {
+
+/// Hash-grid over 2-D points keyed by NodeId.
+class SpatialIndex {
+ public:
+  /// Creates an index with the given cell edge length (metres, > 0).
+  /// A cell size near the query radius keeps candidate sets tight.
+  explicit SpatialIndex(double cell_size);
+
+  /// Replaces the whole index contents with the given (id, position) set.
+  void Rebuild(const std::vector<std::pair<NodeId, Vec2>>& positions);
+
+  /// Appends every id whose indexed position lies within `radius` of
+  /// `center` to `out` (also returns ids *near* the ring; callers must
+  /// distance-filter against live positions). `out` is not cleared.
+  void QueryRange(const Vec2& center, double radius,
+                  std::vector<NodeId>* out) const;
+
+  /// Number of indexed points.
+  size_t Size() const { return count_; }
+
+ private:
+  struct CellKey {
+    int32_t cx;
+    int32_t cy;
+    bool operator==(const CellKey& o) const { return cx == o.cx && cy == o.cy; }
+  };
+  struct CellKeyHash {
+    size_t operator()(const CellKey& key) const {
+      // 2-D -> 1-D mixing; fine for grid coordinates.
+      uint64_t h = (static_cast<uint64_t>(static_cast<uint32_t>(key.cx)) << 32) |
+                   static_cast<uint32_t>(key.cy);
+      h ^= h >> 33;
+      h *= 0xFF51AFD7ED558CCDULL;
+      h ^= h >> 33;
+      return static_cast<size_t>(h);
+    }
+  };
+  struct Point {
+    NodeId id;
+    Vec2 position;
+  };
+
+  CellKey KeyFor(const Vec2& p) const;
+
+  double cell_size_;
+  size_t count_ = 0;
+  std::unordered_map<CellKey, std::vector<Point>, CellKeyHash> cells_;
+};
+
+}  // namespace madnet::net
+
+#endif  // MADNET_NET_SPATIAL_INDEX_H_

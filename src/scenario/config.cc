@@ -1,0 +1,94 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+
+#include "scenario/config.h"
+
+namespace madnet::scenario {
+
+const char* MethodName(Method method) {
+  switch (method) {
+    case Method::kFlooding: return "Flooding";
+    case Method::kGossip: return "Gossiping";
+    case Method::kOptimized1: return "Optimized Gossiping-1";
+    case Method::kOptimized2: return "Optimized Gossiping-2";
+    case Method::kOptimized: return "Optimized Gossiping";
+    case Method::kResourceExchange: return "Resource Exchange";
+  }
+  return "?";
+}
+
+const char* MobilityName(Mobility mobility) {
+  switch (mobility) {
+    case Mobility::kRandomWaypoint: return "Random Waypoint";
+    case Mobility::kManhattanGrid: return "Manhattan Grid";
+    case Mobility::kHotspot: return "Hotspot Waypoint";
+  }
+  return "?";
+}
+
+ScenarioConfig ScenarioConfig::PaperDefaults() { return ScenarioConfig(); }
+
+Status ScenarioConfig::Validate() const {
+  if (area_size_m <= 0.0) {
+    return Status::InvalidArgument("area_size_m must be positive");
+  }
+  if (num_peers < 0) {
+    return Status::InvalidArgument("num_peers must be non-negative");
+  }
+  if (sim_time_s <= 0.0 || issue_time_s < 0.0 || issue_time_s >= sim_time_s) {
+    return Status::InvalidArgument(
+        "need 0 <= issue_time_s < sim_time_s and sim_time_s > 0");
+  }
+  if (initial_radius_m <= 0.0 || initial_duration_s <= 0.0) {
+    return Status::InvalidArgument("R and D must be positive");
+  }
+  if (issue_location.x < 0.0 || issue_location.x > area_size_m ||
+      issue_location.y < 0.0 || issue_location.y > area_size_m) {
+    return Status::InvalidArgument("issue_location outside the area");
+  }
+  if (speed_delta_mps < 0.0 || mean_speed_mps - speed_delta_mps <= 0.0) {
+    return Status::InvalidArgument(
+        "speeds must stay positive: mean_speed_mps > speed_delta_mps >= 0");
+  }
+  if (min_pause_s < 0.0 || max_pause_s < min_pause_s) {
+    return Status::InvalidArgument("invalid pause bounds");
+  }
+  if (mobility == Mobility::kManhattanGrid &&
+      (manhattan_block_m <= 0.0 || manhattan_block_m > area_size_m / 2.0)) {
+    return Status::InvalidArgument(
+        "manhattan_block_m must fit at least two blocks in the area");
+  }
+  if (mobility == Mobility::kHotspot &&
+      (hotspot_probability < 0.0 || hotspot_probability > 1.0 ||
+       hotspot_sigma_m < 0.0 || hotspot_extra < 0)) {
+    return Status::InvalidArgument("invalid hotspot mobility options");
+  }
+  if (!gossip.propagation.Valid() || !flooding.propagation.Valid()) {
+    return Status::InvalidArgument(
+        "propagation parameters out of range (alpha, beta in (0,1))");
+  }
+  if (gossip.round_time_s <= 0.0 || flooding.round_time_s <= 0.0) {
+    return Status::InvalidArgument("round times must be positive");
+  }
+  if (gossip.cache_capacity < 1) {
+    return Status::InvalidArgument("cache capacity must be >= 1");
+  }
+  if (gossip.dis_m < 0.0) {
+    return Status::InvalidArgument(
+        "DIS must be non-negative (0 = auto: V_max * round time)");
+  }
+  if (exchange.beacon_interval_s <= 0.0 || exchange.memory_capacity < 1 ||
+      exchange.exchange_batch < 1 || exchange.age_weight < 0.0 ||
+      exchange.distance_weight < 0.0) {
+    return Status::InvalidArgument("invalid resource-exchange options");
+  }
+  if (medium.range_m <= 0.0) {
+    return Status::InvalidArgument("transmission range must be positive");
+  }
+  if (medium.max_speed_mps < mean_speed_mps + speed_delta_mps) {
+    return Status::InvalidArgument(
+        "medium.max_speed_mps must cover the fastest mobile peer");
+  }
+  return Status::Ok();
+}
+
+}  // namespace madnet::scenario

@@ -1,0 +1,209 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+
+#include "scenario/config_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace madnet::scenario {
+
+namespace {
+
+Status ParseMethodName(const std::string& name, Method* out) {
+  if (name == "flooding") *out = Method::kFlooding;
+  else if (name == "gossip") *out = Method::kGossip;
+  else if (name == "optimized1") *out = Method::kOptimized1;
+  else if (name == "optimized2") *out = Method::kOptimized2;
+  else if (name == "optimized") *out = Method::kOptimized;
+  else if (name == "exchange") *out = Method::kResourceExchange;
+  else return Status::InvalidArgument("unknown method '" + name + "'");
+  return Status::Ok();
+}
+
+Status ParseMobilityName(const std::string& name, Mobility* out) {
+  if (name == "waypoint") *out = Mobility::kRandomWaypoint;
+  else if (name == "manhattan") *out = Mobility::kManhattanGrid;
+  else if (name == "hotspot") *out = Mobility::kHotspot;
+  else return Status::InvalidArgument("unknown mobility '" + name + "'");
+  return Status::Ok();
+}
+
+const char* MethodToken(Method method) {
+  switch (method) {
+    case Method::kFlooding: return "flooding";
+    case Method::kGossip: return "gossip";
+    case Method::kOptimized1: return "optimized1";
+    case Method::kOptimized2: return "optimized2";
+    case Method::kOptimized: return "optimized";
+    case Method::kResourceExchange: return "exchange";
+  }
+  return "?";
+}
+
+const char* MobilityToken(Mobility mobility) {
+  switch (mobility) {
+    case Mobility::kRandomWaypoint: return "waypoint";
+    case Mobility::kManhattanGrid: return "manhattan";
+    case Mobility::kHotspot: return "hotspot";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Status ApplyConfigKey(const std::string& key, const std::string& value,
+                      ScenarioConfig* config) {
+  auto as_double = [&](double* field) -> Status {
+    auto parsed = ParseDouble(value);
+    if (!parsed.ok()) return parsed.status();
+    *field = *parsed;
+    return Status::Ok();
+  };
+  auto as_bool = [&](bool* field) -> Status {
+    auto parsed = ParseBool(value);
+    if (!parsed.ok()) return parsed.status();
+    *field = *parsed;
+    return Status::Ok();
+  };
+
+  if (key == "method") return ParseMethodName(value, &config->method);
+  if (key == "mobility") return ParseMobilityName(value, &config->mobility);
+  if (key == "peers") {
+    auto parsed = ParseInt(value);
+    if (!parsed.ok()) return parsed.status();
+    config->num_peers = static_cast<int>(*parsed);
+    return Status::Ok();
+  }
+  if (key == "area") {
+    Status s = as_double(&config->area_size_m);
+    if (s.ok()) {
+      config->issue_location = {config->area_size_m / 2.0,
+                                config->area_size_m / 2.0};
+    }
+    return s;
+  }
+  if (key == "radius") return as_double(&config->initial_radius_m);
+  if (key == "duration") return as_double(&config->initial_duration_s);
+  if (key == "sim_time") return as_double(&config->sim_time_s);
+  if (key == "issue_time") return as_double(&config->issue_time_s);
+  if (key == "speed") return as_double(&config->mean_speed_mps);
+  if (key == "speed_delta") return as_double(&config->speed_delta_mps);
+  if (key == "round") {
+    Status s = as_double(&config->gossip.round_time_s);
+    if (s.ok()) config->flooding.round_time_s = config->gossip.round_time_s;
+    return s;
+  }
+  if (key == "alpha") {
+    Status s = as_double(&config->gossip.propagation.alpha);
+    if (s.ok()) config->flooding.propagation = config->gossip.propagation;
+    return s;
+  }
+  if (key == "beta") {
+    Status s = as_double(&config->gossip.propagation.beta);
+    if (s.ok()) config->flooding.propagation = config->gossip.propagation;
+    return s;
+  }
+  if (key == "dis") return as_double(&config->gossip.dis_m);
+  if (key == "cache") {
+    auto parsed = ParseInt(value);
+    if (!parsed.ok()) return parsed.status();
+    config->gossip.cache_capacity = static_cast<size_t>(*parsed);
+    return Status::Ok();
+  }
+  if (key == "range") return as_double(&config->medium.range_m);
+  if (key == "loss") return as_double(&config->medium.loss_probability);
+  if (key == "fading") return as_double(&config->medium.fading_exponent);
+  if (key == "collisions") return as_bool(&config->medium.enable_collisions);
+  if (key == "csma") return as_bool(&config->medium.csma);
+  if (key == "ranking") {
+    Status s = as_bool(&config->gossip.ranking);
+    if (s.ok() && config->gossip.ranking) {
+      config->assign_interests = true;
+      if (config->interest_options.universe.empty()) {
+        config->interest_options.universe =
+            core::InterestGenerator::DefaultUniverse();
+      }
+    }
+    return s;
+  }
+  if (key == "issuer_offline") return as_bool(&config->issuer_goes_offline);
+  if (key == "seed") {
+    auto parsed = ParseInt(value);
+    if (!parsed.ok()) return parsed.status();
+    config->seed = static_cast<uint64_t>(*parsed);
+    return Status::Ok();
+  }
+  return Status::InvalidArgument("unknown config key '" + key + "'");
+}
+
+Status LoadConfigFile(const std::string& path, ScenarioConfig* config) {
+  std::ifstream in(path);
+  if (!in.good()) return Status::IoError("cannot open " + path);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    const size_t eq = trimmed.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument(
+          path + ":" + std::to_string(line_number) +
+          ": expected 'key = value', got '" + std::string(trimmed) + "'");
+    }
+    const std::string key(Trim(trimmed.substr(0, eq)));
+    const std::string value(Trim(trimmed.substr(eq + 1)));
+    Status applied = ApplyConfigKey(key, value, config);
+    if (!applied.ok()) {
+      return Status::InvalidArgument(path + ":" +
+                                     std::to_string(line_number) + ": " +
+                                     applied.message());
+    }
+  }
+  Status valid = config->Validate();
+  if (!valid.ok()) {
+    return Status::InvalidArgument(path + ": " + valid.message());
+  }
+  return Status::Ok();
+}
+
+std::string SaveConfigText(const ScenarioConfig& config) {
+  std::ostringstream out;
+  char buf[96];
+  auto number = [&](const char* key, double v) {
+    std::snprintf(buf, sizeof(buf), "%s = %g\n", key, v);
+    out << buf;
+  };
+  out << "# madnet scenario config\n";
+  out << "method = " << MethodToken(config.method) << '\n';
+  out << "mobility = " << MobilityToken(config.mobility) << '\n';
+  out << "peers = " << config.num_peers << '\n';
+  number("area", config.area_size_m);
+  number("radius", config.initial_radius_m);
+  number("duration", config.initial_duration_s);
+  number("sim_time", config.sim_time_s);
+  number("issue_time", config.issue_time_s);
+  number("speed", config.mean_speed_mps);
+  number("speed_delta", config.speed_delta_mps);
+  number("round", config.gossip.round_time_s);
+  number("alpha", config.gossip.propagation.alpha);
+  number("beta", config.gossip.propagation.beta);
+  number("dis", config.gossip.dis_m);
+  out << "cache = " << config.gossip.cache_capacity << '\n';
+  number("range", config.medium.range_m);
+  number("loss", config.medium.loss_probability);
+  number("fading", config.medium.fading_exponent);
+  out << "collisions = "
+      << (config.medium.enable_collisions ? "true" : "false") << '\n';
+  out << "csma = " << (config.medium.csma ? "true" : "false") << '\n';
+  out << "ranking = " << (config.gossip.ranking ? "true" : "false") << '\n';
+  out << "issuer_offline = "
+      << (config.issuer_goes_offline ? "true" : "false") << '\n';
+  out << "seed = " << config.seed << '\n';
+  return out.str();
+}
+
+}  // namespace madnet::scenario

@@ -1,0 +1,41 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+//
+// Text persistence for ScenarioConfig: a flat "key = value" format ('#'
+// comments, blank lines allowed) so experiment setups can be versioned and
+// shared, and `madnet_run --config=file` reproduces them exactly.
+//
+// Example:
+//   # Table II, sparse point
+//   method = gossip
+//   peers = 100
+//   radius = 1000
+//   duration = 800
+//   seed = 7
+
+#ifndef MADNET_SCENARIO_CONFIG_IO_H_
+#define MADNET_SCENARIO_CONFIG_IO_H_
+
+#include <string>
+
+#include "scenario/config.h"
+
+namespace madnet::scenario {
+
+/// Applies one "key = value" assignment to `config`. Unknown keys and
+/// malformed values return InvalidArgument. Keys match madnet_run's flag
+/// names (method, mobility, peers, area, radius, duration, sim_time,
+/// issue_time, speed, speed_delta, round, alpha, beta, dis, cache, range,
+/// loss, collisions, csma, ranking, issuer_offline, seed).
+Status ApplyConfigKey(const std::string& key, const std::string& value,
+                      ScenarioConfig* config);
+
+/// Loads a config file on top of `*config` (which supplies defaults for
+/// unmentioned keys). The result is validated before returning.
+Status LoadConfigFile(const std::string& path, ScenarioConfig* config);
+
+/// Serializes the settable keys of a config in the same format.
+std::string SaveConfigText(const ScenarioConfig& config);
+
+}  // namespace madnet::scenario
+
+#endif  // MADNET_SCENARIO_CONFIG_IO_H_

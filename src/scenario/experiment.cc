@@ -1,0 +1,28 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+
+#include "scenario/experiment.h"
+
+#include <cassert>
+
+namespace madnet::scenario {
+
+Aggregate RunReplicated(const ScenarioConfig& base, int replications) {
+  assert(replications >= 1);
+  Aggregate aggregate;
+  for (int i = 0; i < replications; ++i) {
+    ScenarioConfig config = base;
+    config.seed = base.seed + static_cast<uint64_t>(i);
+    RunResult result = RunScenario(config);
+    aggregate.delivery_rate_percent.Add(result.DeliveryRatePercent());
+    if (result.report.peers_delivered > 0) {
+      aggregate.mean_delivery_time_s.Add(result.MeanDeliveryTime());
+    }
+    aggregate.messages.Add(static_cast<double>(result.Messages()));
+    aggregate.peers_passed.Add(
+        static_cast<double>(result.report.peers_passed));
+    aggregate.final_rank.Add(result.final_rank);
+  }
+  return aggregate;
+}
+
+}  // namespace madnet::scenario

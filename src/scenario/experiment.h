@@ -1,0 +1,36 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+//
+// Replicated experiment runner: runs a scenario over several seeds and
+// aggregates the paper's metrics, so every figure's data point carries a
+// mean and a spread instead of a single noisy run.
+
+#ifndef MADNET_SCENARIO_EXPERIMENT_H_
+#define MADNET_SCENARIO_EXPERIMENT_H_
+
+#include "scenario/config.h"
+#include "scenario/scenario.h"
+#include "stats/summary.h"
+
+namespace madnet::scenario {
+
+/// Cross-seed aggregation of RunResult.
+struct Aggregate {
+  stats::Summary delivery_rate_percent;
+  stats::Summary mean_delivery_time_s;
+  stats::Summary messages;
+  stats::Summary peers_passed;
+  stats::Summary final_rank;
+
+  /// Convenience means.
+  double DeliveryRate() const { return delivery_rate_percent.Mean(); }
+  double DeliveryTime() const { return mean_delivery_time_s.Mean(); }
+  double Messages() const { return messages.Mean(); }
+};
+
+/// Runs `replications` copies of `base` with seeds base.seed, base.seed+1,
+/// ... and aggregates. Requires replications >= 1.
+Aggregate RunReplicated(const ScenarioConfig& base, int replications);
+
+}  // namespace madnet::scenario
+
+#endif  // MADNET_SCENARIO_EXPERIMENT_H_

@@ -1,0 +1,182 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+
+#include "scenario/multi_ad.h"
+
+#include "scenario/scenario.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+#include "core/opportunistic_gossip.h"
+#include "core/resource_exchange.h"
+#include "core/restricted_flooding.h"
+#include "mobility/constant_velocity.h"
+#include "mobility/random_waypoint.h"
+
+namespace madnet::scenario {
+
+Status MultiAdConfig::Validate() const {
+  Status base_status = base.Validate();
+  if (!base_status.ok()) return base_status;
+  if (num_ads < 1) return Status::InvalidArgument("need at least one ad");
+  if (ad_radius_m <= 0.0 || ad_duration_s <= 0.0) {
+    return Status::InvalidArgument("ad R and D must be positive");
+  }
+  if (first_issue_s < 0.0 || issue_spacing_s < 0.0) {
+    return Status::InvalidArgument("issue schedule must be non-negative");
+  }
+  const double last_issue =
+      first_issue_s + issue_spacing_s * (num_ads - 1);
+  if (last_issue >= base.sim_time_s) {
+    return Status::InvalidArgument("ads issued after the simulation ends");
+  }
+  if (2.0 * border_margin_m >= base.area_size_m) {
+    return Status::InvalidArgument("border margin larger than the area");
+  }
+  return Status::Ok();
+}
+
+double MultiAdResult::MeanDeliveryRatePercent() const {
+  double total = 0.0;
+  int scored = 0;
+  for (const PerAd& ad : ads) {
+    if (ad.report.peers_passed == 0) continue;
+    total += ad.report.DeliveryRatePercent();
+    ++scored;
+  }
+  return scored == 0 ? 0.0 : total / scored;
+}
+
+double MultiAdResult::MeanDeliveryTime() const {
+  double sum = 0.0;
+  size_t count = 0;
+  for (const PerAd& ad : ads) {
+    sum += ad.report.delivery_times.Sum();
+    count += ad.report.delivery_times.Count();
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+MultiAdResult RunMultiAdScenario(const MultiAdConfig& config) {
+  Status valid = config.Validate();
+  assert(valid.ok() && "invalid MultiAdConfig");
+  (void)valid;
+
+  // Fold the per-method switches into the gossip options, as Scenario does.
+  core::GossipOptions gossip = config.base.gossip;
+  switch (config.base.method) {
+    case Method::kFlooding:
+    case Method::kResourceExchange:
+      break;
+    case Method::kGossip:
+      gossip.annulus = false;
+      gossip.postpone = false;
+      break;
+    case Method::kOptimized1:
+      gossip.annulus = true;
+      gossip.postpone = false;
+      break;
+    case Method::kOptimized2:
+      gossip.annulus = false;
+      gossip.postpone = true;
+      break;
+    case Method::kOptimized:
+      gossip.annulus = true;
+      gossip.postpone = true;
+      break;
+  }
+
+  sim::Simulator simulator;
+  Rng root(config.base.seed);
+  net::Medium medium(config.base.medium, &simulator, root.Fork(0x4D414449));
+  stats::DeliveryLog log;
+
+  // Issue locations, uniform with a border margin.
+  Rng placer = root.Fork(0x504C4143);  // "PLAC"
+  const Rect placement{{config.border_margin_m, config.border_margin_m},
+                       {config.base.area_size_m - config.border_margin_m,
+                        config.base.area_size_m - config.border_margin_m}};
+
+  MultiAdResult result;
+  result.ads.resize(config.num_ads);
+  for (int i = 0; i < config.num_ads; ++i) {
+    result.ads[i].location = placer.UniformInRect(placement);
+    result.ads[i].issue_time =
+        config.first_issue_s + config.issue_spacing_s * i;
+  }
+
+  // Mobility: issuers stationary; peers follow config.base.mobility.
+  const int node_count = config.num_ads + config.base.num_peers;
+  std::vector<std::unique_ptr<mobility::MobilityModel>> mobilities;
+  mobilities.reserve(node_count);
+  for (int i = 0; i < config.num_ads; ++i) {
+    mobilities.push_back(
+        std::make_unique<mobility::Stationary>(result.ads[i].location));
+  }
+  for (int i = 0; i < config.base.num_peers; ++i) {
+    mobilities.push_back(
+        MakePeerMobility(config.base, root.Fork(0x10000 + i)));
+  }
+
+  std::vector<std::unique_ptr<core::Protocol>> protocols;
+  protocols.reserve(node_count);
+  for (net::NodeId id = 0; id < static_cast<net::NodeId>(node_count); ++id) {
+    Status added = medium.AddNode(id, mobilities[id].get());
+    assert(added.ok());
+    (void)added;
+    core::ProtocolContext context;
+    context.simulator = &simulator;
+    context.medium = &medium;
+    context.self = id;
+    context.delivery_log = &log;
+    context.rng = root.Fork(0x20000 + id);
+    switch (config.base.method) {
+      case Method::kFlooding:
+        protocols.push_back(std::make_unique<core::RestrictedFlooding>(
+            std::move(context), config.base.flooding));
+        break;
+      case Method::kResourceExchange:
+        protocols.push_back(std::make_unique<core::ResourceExchange>(
+            std::move(context), config.base.exchange));
+        break;
+      default:
+        protocols.push_back(std::make_unique<core::OpportunisticGossip>(
+            std::move(context), gossip));
+        break;
+    }
+    protocols.back()->Start();
+  }
+
+  // Schedule the issues.
+  for (int i = 0; i < config.num_ads; ++i) {
+    MultiAdResult::PerAd* ad = &result.ads[i];
+    simulator.ScheduleAt(ad->issue_time, [&, ad, i]() {
+      core::AdContent content = config.base.content;
+      content.text += " #" + std::to_string(i);
+      auto issued = protocols[i]->Issue(content, config.ad_radius_m,
+                                        config.ad_duration_s);
+      assert(issued.ok());
+      ad->key = issued->Key();
+    });
+  }
+
+  simulator.RunUntil(config.base.sim_time_s);
+
+  // Per-ad reports over each ad's own life cycle; only mobile peers count.
+  for (MultiAdResult::PerAd& ad : result.ads) {
+    const double life_end = std::min(ad.issue_time + config.ad_duration_s,
+                                     config.base.sim_time_s);
+    stats::AreaTracker tracker(Circle{ad.location, config.ad_radius_m},
+                               ad.issue_time, life_end);
+    for (int i = 0; i < config.base.num_peers; ++i) {
+      const net::NodeId id = static_cast<net::NodeId>(config.num_ads + i);
+      tracker.Observe(id, mobilities[id].get());
+    }
+    ad.report = ComputeDeliveryReport(tracker, log, ad.key);
+  }
+  result.net = medium.stats();
+  return result;
+}
+
+}  // namespace madnet::scenario

@@ -1,0 +1,228 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+
+#include "scenario/scenario.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/opportunistic_gossip.h"
+#include "core/restricted_flooding.h"
+#include "mobility/constant_velocity.h"
+#include "mobility/hotspot_waypoint.h"
+#include "mobility/manhattan_grid.h"
+#include "mobility/random_waypoint.h"
+#include "util/logging.h"
+
+namespace madnet::scenario {
+
+namespace {
+// The issuer broadcasts at issue time; deliveries land within milliseconds.
+// A gossip issuer that "goes offline" does so shortly after.
+constexpr double kIssuerOfflineDelay = 1.0;
+}  // namespace
+
+Scenario::Scenario(const ScenarioConfig& config) : config_(config) {
+  Status valid = config_.Validate();
+  assert(valid.ok() && "invalid ScenarioConfig");
+  (void)valid;
+
+  // Fold the per-method optimization switches into the gossip options.
+  switch (config_.method) {
+    case Method::kFlooding: break;
+    case Method::kResourceExchange: break;
+    case Method::kGossip:
+      config_.gossip.annulus = false;
+      config_.gossip.postpone = false;
+      break;
+    case Method::kOptimized1:
+      config_.gossip.annulus = true;
+      config_.gossip.postpone = false;
+      break;
+    case Method::kOptimized2:
+      config_.gossip.annulus = false;
+      config_.gossip.postpone = true;
+      break;
+    case Method::kOptimized:
+      config_.gossip.annulus = true;
+      config_.gossip.postpone = true;
+      break;
+  }
+
+  Rng root(config_.seed);
+  medium_ = std::make_unique<net::Medium>(config_.medium, &simulator_,
+                                          root.Fork(0x4D454449));  // "MEDI"
+
+  const int node_count = config_.num_peers + 1;  // Peers plus the issuer.
+  mobilities_.reserve(node_count);
+  protocols_.reserve(node_count);
+
+  // Node 0: the issuer, stationary at the issuing location.
+  mobilities_.push_back(
+      std::make_unique<mobility::Stationary>(config_.issue_location));
+  // Nodes 1..N: mobile peers.
+  for (int i = 1; i <= config_.num_peers; ++i) {
+    mobilities_.push_back(MakeMobility(root.Fork(0x10000 + i)));
+  }
+
+  for (net::NodeId id = 0; id < static_cast<net::NodeId>(node_count); ++id) {
+    Status added = medium_->AddNode(id, mobilities_[id].get());
+    assert(added.ok());
+    (void)added;
+  }
+  for (net::NodeId id = 0; id < static_cast<net::NodeId>(node_count); ++id) {
+    protocols_.push_back(MakeProtocol(id, root.Fork(0x20000 + id)));
+    protocols_.back()->Start();
+  }
+}
+
+Scenario::~Scenario() = default;
+
+std::unique_ptr<mobility::MobilityModel> MakePeerMobility(
+    const ScenarioConfig& config, Rng rng) {
+  const Rect area{{0.0, 0.0}, {config.area_size_m, config.area_size_m}};
+  const double min_speed = config.mean_speed_mps - config.speed_delta_mps;
+  const double max_speed = config.mean_speed_mps + config.speed_delta_mps;
+  switch (config.mobility) {
+    case Mobility::kManhattanGrid: {
+      mobility::ManhattanGrid::Options options;
+      options.area = area;
+      options.block_size_m = config.manhattan_block_m;
+      options.min_speed_mps = min_speed;
+      options.max_speed_mps = max_speed;
+      return std::make_unique<mobility::ManhattanGrid>(options, rng);
+    }
+    case Mobility::kHotspot: {
+      mobility::HotspotWaypoint::Options options;
+      options.area = area;
+      options.min_speed_mps = min_speed;
+      options.max_speed_mps = max_speed;
+      options.min_pause_s = config.min_pause_s;
+      options.max_pause_s = config.max_pause_s;
+      options.hotspot_probability = config.hotspot_probability;
+      // The issuing location is always an attraction point; extra hotspots
+      // are placed deterministically from the scenario seed.
+      options.hotspots.push_back({config.issue_location,
+                                  config.hotspot_sigma_m, 2.0});
+      Rng placer = Rng(config.seed).Fork(0x484F54);  // "HOT"
+      const double margin = config.hotspot_sigma_m;
+      for (int i = 0; i < config.hotspot_extra; ++i) {
+        options.hotspots.push_back(
+            {placer.UniformInRect(Rect{{margin, margin},
+                                       {config.area_size_m - margin,
+                                        config.area_size_m - margin}}),
+             config.hotspot_sigma_m, 1.0});
+      }
+      return std::make_unique<mobility::HotspotWaypoint>(options, rng);
+    }
+    case Mobility::kRandomWaypoint:
+      break;
+  }
+  mobility::RandomWaypoint::Options options;
+  options.area = area;
+  options.min_speed_mps = min_speed;
+  options.max_speed_mps = max_speed;
+  options.min_pause_s = config.min_pause_s;
+  options.max_pause_s = config.max_pause_s;
+  return std::make_unique<mobility::RandomWaypoint>(options, rng);
+}
+
+std::unique_ptr<mobility::MobilityModel> Scenario::MakeMobility(Rng rng) {
+  return MakePeerMobility(config_, rng);
+}
+
+std::unique_ptr<core::Protocol> Scenario::MakeProtocol(net::NodeId id,
+                                                       Rng rng) {
+  core::ProtocolContext context;
+  context.simulator = &simulator_;
+  context.medium = medium_.get();
+  context.self = id;
+  context.delivery_log = &delivery_log_;
+  context.rng = rng;
+
+  if (config_.method == Method::kFlooding) {
+    return std::make_unique<core::RestrictedFlooding>(std::move(context),
+                                                      config_.flooding);
+  }
+  if (config_.method == Method::kResourceExchange) {
+    return std::make_unique<core::ResourceExchange>(std::move(context),
+                                                    config_.exchange);
+  }
+  core::InterestProfile interests;
+  if (config_.assign_interests) {
+    core::InterestGenerator generator(config_.interest_options);
+    Rng interest_rng = rng.Fork(0x494E54);  // "INT"
+    interests = generator.Sample(&interest_rng);
+  }
+  return std::make_unique<core::OpportunisticGossip>(
+      std::move(context), config_.gossip, std::move(interests));
+}
+
+RunResult Scenario::Run() {
+  assert(!ran_ && "Scenario::Run may only be called once");
+  ran_ = true;
+
+  RunResult result;
+  // Issue the advertisement at the configured time.
+  simulator_.ScheduleAt(config_.issue_time_s, [this, &result]() {
+    auto issued = protocols_[0]->Issue(config_.content,
+                                       config_.initial_radius_m,
+                                       config_.initial_duration_s);
+    assert(issued.ok());
+    result.ad_key = issued->Key();
+    issued_ad_key_ = result.ad_key;
+    if (config_.method != Method::kFlooding && config_.issuer_goes_offline) {
+      simulator_.Schedule(kIssuerOfflineDelay, [this]() {
+        (void)medium_->SetOnline(0, false);
+      });
+    }
+  });
+
+  simulator_.RunUntil(config_.sim_time_s);
+
+  // Metrics over the ad's life cycle within the simulated horizon.
+  const double life_end = std::min(
+      config_.issue_time_s + config_.initial_duration_s, config_.sim_time_s);
+  stats::AreaTracker tracker(
+      Circle{config_.issue_location, config_.initial_radius_m},
+      config_.issue_time_s, life_end);
+  for (int i = 1; i <= config_.num_peers; ++i) {
+    tracker.Observe(static_cast<net::NodeId>(i), mobilities_[i].get());
+  }
+  result.report = ComputeDeliveryReport(tracker, delivery_log_, result.ad_key);
+  result.net = medium_->stats();
+  result.events_executed = simulator_.ExecutedEvents();
+
+  // Ranking evidence: the most-enlarged surviving copy of the ad.
+  for (const auto& protocol : protocols_) {
+    const auto* gossip =
+        dynamic_cast<const core::OpportunisticGossip*>(protocol.get());
+    if (gossip == nullptr) continue;
+    const core::CacheEntry* entry = gossip->cache().Find(result.ad_key);
+    if (entry == nullptr) continue;
+    result.final_rank =
+        std::max(result.final_rank, core::EstimatedRank(entry->ad));
+    result.final_radius_m = std::max(result.final_radius_m,
+                                     entry->ad.radius_m);
+    result.final_duration_s = std::max(result.final_duration_s,
+                                       entry->ad.duration_s);
+  }
+  return result;
+}
+
+mobility::TraceSet Scenario::RecordTraces(sim::Time horizon) {
+  mobility::TraceSet traces;
+  traces.reserve(mobilities_.size());
+  for (size_t id = 0; id < mobilities_.size(); ++id) {
+    traces.emplace_back(static_cast<uint32_t>(id),
+                        mobility::Trace::Record(mobilities_[id].get(),
+                                                horizon));
+  }
+  return traces;
+}
+
+RunResult RunScenario(const ScenarioConfig& config) {
+  Scenario scenario(config);
+  return scenario.Run();
+}
+
+}  // namespace madnet::scenario

@@ -1,0 +1,62 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace madnet::sim {
+
+EventId EventQueue::Push(Time when, Callback callback) {
+  const EventId id = next_seq_++;
+  heap_.push(Entry{when, id, std::move(callback)});
+  pending_.insert(id);
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  // Only ids that were pushed and have neither run nor been cancelled are
+  // cancellable; `pending_` tracks exactly that set.
+  if (pending_.erase(id) == 0) return false;
+  cancelled_.insert(id);
+  --live_count_;
+  return true;
+}
+
+void EventQueue::SkipTombstones() {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.top().seq);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+Time EventQueue::NextTime() {
+  SkipTombstones();
+  assert(!heap_.empty() && "NextTime() on an empty queue");
+  return heap_.top().when;
+}
+
+std::pair<Time, EventQueue::Callback> EventQueue::Pop() {
+  SkipTombstones();
+  assert(!heap_.empty() && "Pop() on an empty queue");
+  // priority_queue::top() is const; the entry is about to be discarded, so
+  // moving the callback out is safe.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  std::pair<Time, Callback> result{top.when, std::move(top.callback)};
+  pending_.erase(top.seq);
+  heap_.pop();
+  --live_count_;
+  return result;
+}
+
+void EventQueue::Clear() {
+  heap_ = {};
+  cancelled_.clear();
+  pending_.clear();
+  live_count_ = 0;
+}
+
+}  // namespace madnet::sim

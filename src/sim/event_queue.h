@@ -1,0 +1,86 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+//
+// The pending-event set of the discrete-event simulator: a binary heap of
+// (time, sequence) keys with O(log n) insertion/extraction and O(1)
+// cancellation via tombstones. Events at the same timestamp pop in
+// scheduling order (FIFO), which makes whole runs deterministic.
+
+#ifndef MADNET_SIM_EVENT_QUEUE_H_
+#define MADNET_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace madnet::sim {
+
+/// Simulated time, in seconds.
+using Time = double;
+
+/// Opaque handle to a scheduled event; used to cancel it.
+using EventId = uint64_t;
+
+/// Sentinel returned for operations that could not produce an event.
+inline constexpr EventId kInvalidEventId = 0;
+
+/// A time-ordered queue of callbacks.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Schedules `callback` at absolute time `when`. Returns a handle that can
+  /// cancel the event while it is still pending.
+  EventId Push(Time when, Callback callback);
+
+  /// Cancels a pending event. Returns false if the event already ran, was
+  /// already cancelled, or never existed.
+  bool Cancel(EventId id);
+
+  /// True iff no runnable event is pending.
+  bool Empty() const { return live_count_ == 0; }
+
+  /// Number of runnable (non-cancelled) pending events.
+  size_t Size() const { return live_count_; }
+
+  /// Timestamp of the earliest runnable event. Requires !Empty().
+  Time NextTime();
+
+  /// Removes and returns the earliest runnable event. Requires !Empty().
+  /// The returned pair is (time, callback).
+  std::pair<Time, Callback> Pop();
+
+  /// Drops every pending event.
+  void Clear();
+
+ private:
+  struct Entry {
+    Time when;
+    uint64_t seq;  // Tie-break: FIFO among same-time events; doubles as id.
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops cancelled entries off the top of the heap.
+  void SkipTombstones();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> pending_;    // Pushed, not yet run or cancelled.
+  std::unordered_set<EventId> cancelled_;  // Cancelled, entry still in heap.
+  uint64_t next_seq_ = 1;  // 0 is kInvalidEventId.
+  size_t live_count_ = 0;
+};
+
+}  // namespace madnet::sim
+
+#endif  // MADNET_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,30 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+
+#include "sketch/hash.h"
+
+#include "util/random.h"
+
+namespace madnet::sketch {
+
+uint64_t HashFunction::operator()(uint64_t key) const {
+  // Two rounds of the splitmix64 finalizer keyed by the seed. This passes
+  // avalanche tests and makes distinct seeds behave independently.
+  return Mix64(Mix64(key ^ (seed_ * 0x9E3779B97F4A7C15ULL)) + seed_);
+}
+
+uint64_t HashFunction::operator()(std::string_view bytes) const {
+  // FNV-1a over the bytes, then the keyed mixer.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return (*this)(h);
+}
+
+int LowestSetBit(uint64_t x) {
+  if (x == 0) return 64;
+  return __builtin_ctzll(x);
+}
+
+}  // namespace madnet::sketch

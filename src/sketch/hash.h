@@ -1,0 +1,42 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+//
+// A seeded family of 64-bit hash functions. The FM ranking scheme needs F
+// "independently generated hash functions" (paper, Section III-E); we derive
+// them from one strong mixer keyed by the function index.
+
+#ifndef MADNET_SKETCH_HASH_H_
+#define MADNET_SKETCH_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace madnet::sketch {
+
+/// One member of a keyed hash family. Two HashFunction instances with
+/// different seeds behave as independent hash functions; the same seed
+/// always produces the same mapping (required for reproducible sketches).
+class HashFunction {
+ public:
+  /// Constructs the family member identified by `seed`.
+  explicit HashFunction(uint64_t seed) : seed_(seed) {}
+
+  /// Hashes a 64-bit key.
+  uint64_t operator()(uint64_t key) const;
+
+  /// Hashes arbitrary bytes (FNV-1a folded through the keyed mixer).
+  uint64_t operator()(std::string_view bytes) const;
+
+  /// The seed identifying this family member.
+  uint64_t seed() const { return seed_; }
+
+ private:
+  uint64_t seed_;
+};
+
+/// Position (0-based) of the lowest set bit; 64 when x == 0. This implements
+/// the geometric trial of the FM algorithm: P[rho(x) = i] = 2^-(i+1).
+int LowestSetBit(uint64_t x);
+
+}  // namespace madnet::sketch
+
+#endif  // MADNET_SKETCH_HASH_H_

@@ -1,0 +1,80 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+
+#include "stats/connectivity.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace madnet::stats {
+
+namespace {
+
+/// Plain union-find with path halving and union by size.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), size_t{0});
+  }
+
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(size_t a, size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+  }
+
+  size_t ComponentSize(size_t x) { return size_[Find(x)]; }
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<size_t> size_;
+};
+
+}  // namespace
+
+ConnectivitySnapshot AnalyzeConnectivity(const std::vector<Vec2>& positions,
+                                         double range_m) {
+  ConnectivitySnapshot snapshot;
+  snapshot.nodes = positions.size();
+  if (positions.empty()) return snapshot;
+
+  const double r2 = range_m * range_m;
+  UnionFind forest(positions.size());
+  for (size_t i = 0; i < positions.size(); ++i) {
+    for (size_t j = i + 1; j < positions.size(); ++j) {
+      // Cheap axis prefilter before the full distance check.
+      if (std::abs(positions[i].x - positions[j].x) > range_m) continue;
+      if (DistanceSquared(positions[i], positions[j]) <= r2) {
+        ++snapshot.edges;
+        forest.Union(i, j);
+      }
+    }
+  }
+  snapshot.average_degree =
+      2.0 * static_cast<double>(snapshot.edges) / positions.size();
+
+  size_t largest = 0;
+  size_t components = 0;
+  for (size_t i = 0; i < positions.size(); ++i) {
+    if (forest.Find(i) == i) {
+      ++components;
+      largest = std::max(largest, forest.ComponentSize(i));
+    }
+  }
+  snapshot.components = components;
+  snapshot.largest_component_fraction =
+      static_cast<double>(largest) / positions.size();
+  return snapshot;
+}
+
+}  // namespace madnet::stats

@@ -1,0 +1,35 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+//
+// Instantaneous connectivity analysis of a node placement under unit-disk
+// radios: average degree, connected components, and the giant-component
+// fraction. This is the structural quantity behind the paper's sparse/dense
+// regimes — Figure 7's behaviour flips around the percolation point, and
+// bench/connectivity documents where that lies for the Table-II geometry.
+
+#ifndef MADNET_STATS_CONNECTIVITY_H_
+#define MADNET_STATS_CONNECTIVITY_H_
+
+#include <vector>
+
+#include "util/geometry.h"
+
+namespace madnet::stats {
+
+/// Summary of one placement's radio graph.
+struct ConnectivitySnapshot {
+  size_t nodes = 0;
+  size_t edges = 0;                        ///< Unordered in-range pairs.
+  double average_degree = 0.0;             ///< 2 * edges / nodes.
+  size_t components = 0;                   ///< Connected components.
+  double largest_component_fraction = 0.0; ///< |giant| / nodes.
+};
+
+/// Analyzes the unit-disk graph over `positions` with transmission range
+/// `range_m` (inclusive). O(n^2) pair scan with a grid prefilter; fine for
+/// the scenario sizes used here.
+ConnectivitySnapshot AnalyzeConnectivity(const std::vector<Vec2>& positions,
+                                         double range_m);
+
+}  // namespace madnet::stats
+
+#endif  // MADNET_STATS_CONNECTIVITY_H_

@@ -1,0 +1,16 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+
+#include "stats/energy.h"
+
+namespace madnet::stats {
+
+double NodeEnergyJoules(uint64_t frames_sent, uint64_t bytes_sent,
+                        uint64_t frames_received, uint64_t bytes_received,
+                        const EnergyModel& model) {
+  return static_cast<double>(frames_sent) * model.tx_per_frame_j +
+         static_cast<double>(bytes_sent) * model.tx_per_byte_j +
+         static_cast<double>(frames_received) * model.rx_per_frame_j +
+         static_cast<double>(bytes_received) * model.rx_per_byte_j;
+}
+
+}  // namespace madnet::stats

@@ -1,0 +1,55 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+//
+// Fixed-bin histogram, for delivery-time distributions in examples and
+// benches.
+
+#ifndef MADNET_STATS_HISTOGRAM_H_
+#define MADNET_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace madnet::stats {
+
+/// Equal-width bins over [lo, hi) with under/overflow buckets.
+class Histogram {
+ public:
+  /// Creates `num_bins` equal-width bins spanning [lo, hi). Requires
+  /// hi > lo and num_bins >= 1.
+  Histogram(double lo, double hi, int num_bins);
+
+  /// Records one sample.
+  void Add(double value);
+
+  /// Count in bin `i` (0-based). Requires 0 <= i < num_bins().
+  uint64_t BinCount(int i) const;
+
+  /// Samples below lo / at-or-above hi.
+  uint64_t Underflow() const { return underflow_; }
+  uint64_t Overflow() const { return overflow_; }
+
+  /// Total samples recorded.
+  uint64_t TotalCount() const { return total_; }
+
+  /// Inclusive lower edge of bin i.
+  double BinLow(int i) const;
+
+  int num_bins() const { return static_cast<int>(bins_.size()); }
+
+  /// ASCII bar rendering, one bin per line.
+  std::string ToString() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<uint64_t> bins_;
+  uint64_t underflow_ = 0;
+  uint64_t overflow_ = 0;
+  uint64_t total_ = 0;
+};
+
+}  // namespace madnet::stats
+
+#endif  // MADNET_STATS_HISTOGRAM_H_

@@ -1,0 +1,63 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+//
+// Order statistics accumulator: mean / stddev / min / max / percentiles
+// over a set of samples. Used for delivery times and cross-seed aggregation.
+
+#ifndef MADNET_STATS_SUMMARY_H_
+#define MADNET_STATS_SUMMARY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace madnet::stats {
+
+/// Accumulates double samples and answers summary queries. Samples are
+/// retained, so percentiles are exact.
+class Summary {
+ public:
+  /// Adds one sample.
+  void Add(double value);
+
+  /// Number of samples.
+  size_t Count() const { return values_.size(); }
+
+  /// Arithmetic mean; 0 when empty.
+  double Mean() const;
+
+  /// Sample standard deviation (n-1 denominator); 0 with < 2 samples.
+  double Stddev() const;
+
+  /// Smallest sample; 0 when empty.
+  double Min() const;
+
+  /// Largest sample; 0 when empty.
+  double Max() const;
+
+  /// Exact p-th percentile via linear interpolation, p in [0, 100];
+  /// 0 when empty.
+  double Percentile(double p) const;
+
+  /// Sum of all samples.
+  double Sum() const { return sum_; }
+
+  /// Half-width of the normal-approximation 95 % confidence interval of
+  /// the mean: 1.96 * stddev / sqrt(n). 0 with < 2 samples.
+  double ConfidenceInterval95() const;
+
+  /// "n=.. mean=.. sd=.. min=.. p50=.. max=.." for logs.
+  std::string ToString() const;
+
+ private:
+  /// Sorts the retained samples if new ones arrived since the last query.
+  void EnsureSorted() const;
+
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+  double sum_ = 0.0;
+};
+
+}  // namespace madnet::stats
+
+#endif  // MADNET_STATS_SUMMARY_H_

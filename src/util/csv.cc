@@ -1,0 +1,38 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+
+#include "util/csv.h"
+
+namespace madnet {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path, std::ios::trunc) {
+  if (out_.good()) WriteRow(header);
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << Escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+Status CsvWriter::Close() {
+  out_.close();
+  if (out_.fail()) return Status::IoError("failed to close CSV file");
+  return Status::Ok();
+}
+
+std::string CsvWriter::Escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace madnet

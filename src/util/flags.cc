@@ -1,0 +1,71 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+
+#include "util/flags.h"
+
+#include "util/string_util.h"
+
+namespace madnet {
+
+void FlagSet::Define(const std::string& name,
+                     const std::string& default_value,
+                     const std::string& description) {
+  declared_[name] = Declaration{default_value, description};
+}
+
+Status FlagSet::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    const std::string_view body = arg.substr(2);
+    const size_t eq = body.find('=');
+    const std::string name(eq == std::string_view::npos ? body
+                                                        : body.substr(0, eq));
+    if (declared_.find(name) == declared_.end()) {
+      return Status::InvalidArgument("unknown flag --" + name);
+    }
+    if (eq == std::string_view::npos) {
+      values_[name] = "true";  // Boolean shorthand.
+    } else {
+      values_[name] = std::string(body.substr(eq + 1));
+    }
+  }
+  return Status::Ok();
+}
+
+bool FlagSet::IsSet(const std::string& name) const {
+  return values_.find(name) != values_.end();
+}
+
+std::string FlagSet::GetString(const std::string& name) const {
+  auto value = values_.find(name);
+  if (value != values_.end()) return value->second;
+  auto declared = declared_.find(name);
+  return declared == declared_.end() ? std::string()
+                                     : declared->second.default_value;
+}
+
+StatusOr<double> FlagSet::GetDouble(const std::string& name) const {
+  return ParseDouble(GetString(name));
+}
+
+StatusOr<int64_t> FlagSet::GetInt(const std::string& name) const {
+  return ParseInt(GetString(name));
+}
+
+StatusOr<bool> FlagSet::GetBool(const std::string& name) const {
+  return ParseBool(GetString(name));
+}
+
+std::string FlagSet::Usage(const std::string& program) const {
+  std::string out = "usage: " + program + " [--flag=value ...]\n\nflags:\n";
+  for (const auto& [name, decl] : declared_) {
+    out += "  --" + name + " (default: " + decl.default_value + ")\n      " +
+           decl.description + "\n";
+  }
+  return out;
+}
+
+}  // namespace madnet

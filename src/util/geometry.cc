@@ -1,0 +1,91 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+
+#include "util/geometry.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace madnet {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}  // namespace
+
+std::string Vec2::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "(%.3f, %.3f)", x, y);
+  return buf;
+}
+
+Vec2 Rect::Clamp(const Vec2& p) const {
+  return {std::min(std::max(p.x, min.x), max.x),
+          std::min(std::max(p.y, min.y), max.y)};
+}
+
+double CircleOverlapArea(double r1, double r2, double d) {
+  if (r1 <= 0.0 || r2 <= 0.0) return 0.0;
+  if (d >= r1 + r2) return 0.0;  // Disjoint.
+  double small = std::min(r1, r2);
+  double large = std::max(r1, r2);
+  if (d <= large - small) return kPi * small * small;  // Containment.
+  // Standard circular-lens formula.
+  double d2 = d * d;
+  double a1 = r1 * r1 * std::acos((d2 + r1 * r1 - r2 * r2) / (2.0 * d * r1));
+  double a2 = r2 * r2 * std::acos((d2 + r2 * r2 - r1 * r1) / (2.0 * d * r2));
+  double k = (-d + r1 + r2) * (d + r1 - r2) * (d - r1 + r2) * (d + r1 + r2);
+  // k can dip slightly below zero from rounding at tangency.
+  double triangle = 0.5 * std::sqrt(std::max(k, 0.0));
+  return a1 + a2 - triangle;
+}
+
+double TransmissionOverlapFraction(double r, double d) {
+  if (r <= 0.0) return 0.0;
+  return CircleOverlapArea(r, r, d) / (kPi * r * r);
+}
+
+std::optional<CrossingInterval> SegmentCircleCrossing(const Vec2& from,
+                                                      const Vec2& to, double t0,
+                                                      double t1,
+                                                      const Circle& circle) {
+  if (t1 < t0) return std::nullopt;
+  const Vec2 d = to - from;            // Displacement over the whole leg.
+  const Vec2 f = from - circle.center;  // Start offset from the centre.
+  const double r2 = circle.radius * circle.radius;
+
+  if (d.NormSquared() == 0.0 || t1 == t0) {
+    // Stationary leg (pause): inside for the whole leg, or never.
+    if (f.NormSquared() <= r2) return CrossingInterval{t0, t1};
+    return std::nullopt;
+  }
+
+  // Position at normalized time s in [0, 1]: from + s * d. Solve
+  // |f + s d|^2 = r^2  =>  (d.d) s^2 + 2 (f.d) s + (f.f - r^2) = 0.
+  const double a = d.NormSquared();
+  const double b = 2.0 * f.Dot(d);
+  const double c = f.NormSquared() - r2;
+  const double disc = b * b - 4.0 * a * c;
+  if (disc < 0.0) return std::nullopt;  // Line misses the circle entirely.
+
+  const double sqrt_disc = std::sqrt(disc);
+  double s_enter = (-b - sqrt_disc) / (2.0 * a);
+  double s_exit = (-b + sqrt_disc) / (2.0 * a);
+  // Clamp to the leg.
+  s_enter = std::max(s_enter, 0.0);
+  s_exit = std::min(s_exit, 1.0);
+  if (s_enter > s_exit) return std::nullopt;  // Inside only outside the leg.
+
+  const double duration = t1 - t0;
+  return CrossingInterval{t0 + s_enter * duration, t0 + s_exit * duration};
+}
+
+double ApproachAngle(const Vec2& v, const Vec2& origin, const Vec2& target) {
+  const Vec2 dir = target - origin;
+  const double vn = v.Norm();
+  const double dn = dir.Norm();
+  if (vn == 0.0 || dn == 0.0) return kPi / 2.0;
+  double cosine = v.Dot(dir) / (vn * dn);
+  cosine = std::clamp(cosine, -1.0, 1.0);
+  return std::acos(cosine);
+}
+
+}  // namespace madnet

@@ -1,0 +1,132 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+//
+// 2-D geometry primitives used throughout the simulator: vectors, segments,
+// circle containment / intersection, circle-circle overlap area (needed by
+// gossip Optimization 2), and segment-circle crossing times (needed by the
+// advertising-area tracker).
+
+#ifndef MADNET_UTIL_GEOMETRY_H_
+#define MADNET_UTIL_GEOMETRY_H_
+
+#include <cmath>
+#include <optional>
+#include <string>
+
+namespace madnet {
+
+/// A 2-D point or vector, in metres.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_in, double y_in) : x(x_in), y(y_in) {}
+
+  constexpr Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  Vec2& operator+=(const Vec2& o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  Vec2& operator-=(const Vec2& o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  constexpr bool operator==(const Vec2& o) const { return x == o.x && y == o.y; }
+
+  /// Dot product.
+  constexpr double Dot(const Vec2& o) const { return x * o.x + y * o.y; }
+
+  /// Euclidean length.
+  double Norm() const { return std::sqrt(x * x + y * y); }
+
+  /// Squared Euclidean length (avoids the sqrt when comparing distances).
+  constexpr double NormSquared() const { return x * x + y * y; }
+
+  /// Unit vector in the same direction; the zero vector maps to itself.
+  Vec2 Normalized() const {
+    double n = Norm();
+    if (n == 0.0) return {0.0, 0.0};
+    return {x / n, y / n};
+  }
+
+  /// "(x, y)" with 3 decimals, for logs.
+  std::string ToString() const;
+};
+
+inline constexpr Vec2 operator*(double s, const Vec2& v) { return v * s; }
+
+/// Euclidean distance between two points.
+inline double Distance(const Vec2& a, const Vec2& b) { return (a - b).Norm(); }
+
+/// Squared Euclidean distance between two points.
+inline constexpr double DistanceSquared(const Vec2& a, const Vec2& b) {
+  return (a - b).NormSquared();
+}
+
+/// An axis-aligned rectangle [min_x, max_x] x [min_y, max_y].
+struct Rect {
+  Vec2 min;
+  Vec2 max;
+
+  constexpr double Width() const { return max.x - min.x; }
+  constexpr double Height() const { return max.y - min.y; }
+  constexpr double Area() const { return Width() * Height(); }
+  constexpr Vec2 Center() const {
+    return {(min.x + max.x) / 2.0, (min.y + max.y) / 2.0};
+  }
+  constexpr bool Contains(const Vec2& p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+  /// Clamps a point into the rectangle.
+  Vec2 Clamp(const Vec2& p) const;
+};
+
+/// A circle (centre, radius). Radius must be >= 0.
+struct Circle {
+  Vec2 center;
+  double radius = 0.0;
+
+  bool Contains(const Vec2& p) const {
+    return DistanceSquared(p, center) <= radius * radius;
+  }
+};
+
+/// Area of the lens-shaped intersection of two circles with radii `r1`, `r2`
+/// whose centres are `d` apart. Handles containment and disjoint cases.
+double CircleOverlapArea(double r1, double r2, double d);
+
+/// Fraction of a circle of radius `r` that overlaps another circle of the
+/// same radius whose centre is `d` away: CircleOverlapArea(r, r, d) / (pi r^2).
+/// This is the `p` of gossip Optimization 2 (Section III-D of the paper);
+/// for d <= r it lies in [2/3 - sqrt(3)/(2 pi), 1] ~= [0.3910, 1].
+double TransmissionOverlapFraction(double r, double d);
+
+/// The time interval, within a constant-velocity leg, spent inside a circle.
+struct CrossingInterval {
+  double enter = 0.0;  ///< First instant inside (clamped to the leg).
+  double exit = 0.0;   ///< Last instant inside (clamped to the leg).
+};
+
+/// Computes when a point moving from `from` (at time `t0`) to `to` (at time
+/// `t1`) at constant velocity is inside `circle`. Returns std::nullopt if the
+/// moving point never enters the circle during [t0, t1]. A stationary leg
+/// (from == to) returns the whole leg iff `from` is inside.
+std::optional<CrossingInterval> SegmentCircleCrossing(const Vec2& from,
+                                                      const Vec2& to, double t0,
+                                                      double t1,
+                                                      const Circle& circle);
+
+/// Angle, in [0, pi], between direction vector `v` and the direction from
+/// `origin` towards `target`. If either direction is degenerate (zero
+/// vector), returns pi/2 (neither approaching nor receding). This is the
+/// theta of gossip Optimization 2.
+double ApproachAngle(const Vec2& v, const Vec2& origin, const Vec2& target);
+
+}  // namespace madnet
+
+#endif  // MADNET_UTIL_GEOMETRY_H_

@@ -1,0 +1,38 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace madnet {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarning: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void Logger::SetLevel(LogLevel level) { g_level.store(level); }
+
+LogLevel Logger::GetLevel() { return g_level.load(); }
+
+void Logger::Log(LogLevel level, const char* format, ...) {
+  if (level < g_level.load()) return;
+  char buf[1024];
+  va_list args;
+  va_start(args, format);
+  vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  std::fprintf(stderr, "[%s] %s\n", LevelName(level), buf);
+}
+
+}  // namespace madnet

@@ -1,0 +1,42 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+//
+// Minimal leveled logging. Simulation hot paths should log at kDebug, which
+// compiles to a cheap runtime check; experiment harnesses use kInfo.
+
+#ifndef MADNET_UTIL_LOGGING_H_
+#define MADNET_UTIL_LOGGING_H_
+
+#include <cstdarg>
+#include <string>
+
+namespace madnet {
+
+/// Severity of a log record, lowest to highest.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide log configuration and emission.
+class Logger {
+ public:
+  /// Sets the minimum level that is actually emitted (default kInfo).
+  static void SetLevel(LogLevel level);
+
+  /// The current minimum level.
+  static LogLevel GetLevel();
+
+  /// printf-style log record to stderr: "[LEVEL] message".
+  static void Log(LogLevel level, const char* format, ...)
+      __attribute__((format(printf, 2, 3)));
+};
+
+}  // namespace madnet
+
+#define MADNET_LOG_DEBUG(...) \
+  ::madnet::Logger::Log(::madnet::LogLevel::kDebug, __VA_ARGS__)
+#define MADNET_LOG_INFO(...) \
+  ::madnet::Logger::Log(::madnet::LogLevel::kInfo, __VA_ARGS__)
+#define MADNET_LOG_WARN(...) \
+  ::madnet::Logger::Log(::madnet::LogLevel::kWarning, __VA_ARGS__)
+#define MADNET_LOG_ERROR(...) \
+  ::madnet::Logger::Log(::madnet::LogLevel::kError, __VA_ARGS__)
+
+#endif  // MADNET_UTIL_LOGGING_H_

@@ -1,0 +1,95 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+
+#include "util/random.h"
+
+#include <cmath>
+
+namespace madnet {
+
+namespace {
+constexpr double kTwoPi = 6.28318530717958647692;
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Mix64(uint64_t x) {
+  uint64_t state = x;
+  return SplitMix64(&state);
+}
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : s_) word = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextUint64(uint64_t bound) {
+  // Rejection sampling over the largest multiple of `bound`.
+  const uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::NextDouble() {
+  // 53 top bits -> uniform double in [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::Exponential(double mean) {
+  // Inverse CDF; 1 - U avoids log(0).
+  return -mean * std::log(1.0 - NextDouble());
+}
+
+double Rng::Normal(double mean, double stddev) {
+  double u1 = 1.0 - NextDouble();
+  double u2 = NextDouble();
+  double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+  return mean + stddev * z;
+}
+
+Vec2 Rng::UniformInRect(const Rect& rect) {
+  return {Uniform(rect.min.x, rect.max.x), Uniform(rect.min.y, rect.max.y)};
+}
+
+Rng Rng::Fork(uint64_t label) const {
+  // Mix all parent state words with the label so that distinct labels (and
+  // distinct parents) give unrelated child streams.
+  uint64_t h = Mix64(label ^ 0xA5A5A5A55A5A5A5AULL);
+  h = Mix64(h ^ s_[0]);
+  h = Mix64(h ^ s_[1]);
+  h = Mix64(h ^ s_[2]);
+  h = Mix64(h ^ s_[3]);
+  return Rng(h);
+}
+
+}  // namespace madnet

@@ -1,0 +1,56 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace madnet {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::ToString() const {
+  size_t columns = header_.size();
+  for (const auto& row : rows_) columns = std::max(columns, row.size());
+
+  std::vector<size_t> widths(columns, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto render = [&](const std::vector<std::string>& row, std::string* out) {
+    for (size_t i = 0; i < columns; ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      *out += "  ";
+      *out += cell;
+      out->append(widths[i] - cell.size(), ' ');
+    }
+    *out += '\n';
+  };
+
+  std::string out;
+  render(header_, &out);
+  size_t rule = 0;
+  for (size_t w : widths) rule += w + 2;
+  out.append(rule, '-');
+  out += '\n';
+  for (const auto& row : rows_) render(row, &out);
+  return out;
+}
+
+void Table::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string Table::Num(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+}  // namespace madnet

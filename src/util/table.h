@@ -1,0 +1,56 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+//
+// Fixed-width console table printer. The benchmark binaries use it to print
+// the same rows/series the paper's figures report, aligned for reading.
+
+#ifndef MADNET_UTIL_TABLE_H_
+#define MADNET_UTIL_TABLE_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace madnet {
+
+/// Accumulates rows of string cells and renders them with padded columns.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; missing cells render empty, extra cells widen the table.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats arbitrary streamable values into one row.
+  template <typename... Args>
+  void Row(const Args&... args) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(args));
+    (cells.push_back(Format(args)), ...);
+    AddRow(std::move(cells));
+  }
+
+  /// Renders the table (header, rule, rows) as a string.
+  std::string ToString() const;
+
+  /// Prints ToString() to stdout.
+  void Print() const;
+
+  /// Formats a double with `digits` decimals.
+  static std::string Num(double value, int digits = 2);
+
+ private:
+  template <typename T>
+  static std::string Format(const T& value) {
+    std::ostringstream oss;
+    oss << value;
+    return oss.str();
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace madnet
+
+#endif  // MADNET_UTIL_TABLE_H_

@@ -1,0 +1,132 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+
+#include "core/ad_codec.h"
+
+#include <gtest/gtest.h>
+
+#include "core/interest.h"
+#include "core/ranking.h"
+#include "util/random.h"
+
+namespace madnet::core {
+namespace {
+
+Advertisement SampleAd() {
+  Advertisement ad;
+  ad.id = {42, 7};
+  ad.issue_time = 123.5;
+  ad.issue_location = {2500.25, -17.75};
+  ad.initial_radius_m = 1000.0;
+  ad.initial_duration_s = 800.0;
+  ad.radius_m = 1234.5;
+  ad.duration_s = 901.25;
+  ad.content = {"petrol", {"discount", "fuel"}, "unleaded 1.09/L"};
+  return ad;
+}
+
+TEST(AdCodecTest, RoundTripsPlainAd) {
+  Advertisement ad = SampleAd();
+  const std::string bytes = EncodeAdvertisement(ad);
+  auto decoded = DecodeAdvertisement(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->id, ad.id);
+  EXPECT_DOUBLE_EQ(decoded->issue_time, ad.issue_time);
+  EXPECT_EQ(decoded->issue_location, ad.issue_location);
+  EXPECT_DOUBLE_EQ(decoded->initial_radius_m, ad.initial_radius_m);
+  EXPECT_DOUBLE_EQ(decoded->initial_duration_s, ad.initial_duration_s);
+  EXPECT_DOUBLE_EQ(decoded->radius_m, ad.radius_m);
+  EXPECT_DOUBLE_EQ(decoded->duration_s, ad.duration_s);
+  EXPECT_EQ(decoded->content.category, ad.content.category);
+  EXPECT_EQ(decoded->content.keywords, ad.content.keywords);
+  EXPECT_EQ(decoded->content.text, ad.content.text);
+  EXPECT_TRUE(decoded->sketches == ad.sketches);
+}
+
+TEST(AdCodecTest, RoundTripsSketchContents) {
+  Advertisement ad = SampleAd();
+  InterestProfile interested({"petrol"});
+  for (uint64_t user = 1; user <= 200; ++user) {
+    RankAndEnlarge(&ad, interested, user * 7919, {});
+  }
+  auto decoded = DecodeAdvertisement(EncodeAdvertisement(ad));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->sketches == ad.sketches);
+  EXPECT_DOUBLE_EQ(EstimatedRank(*decoded), EstimatedRank(ad));
+  EXPECT_DOUBLE_EQ(decoded->radius_m, ad.radius_m);
+}
+
+TEST(AdCodecTest, RoundTripsEmptyContent) {
+  Advertisement ad;
+  ad.id = {1, 1};
+  auto decoded = DecodeAdvertisement(EncodeAdvertisement(ad));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->content.category, "");
+  EXPECT_TRUE(decoded->content.keywords.empty());
+}
+
+TEST(AdCodecTest, EncodedSizeMatchesEncoding) {
+  Advertisement ad = SampleAd();
+  EXPECT_EQ(EncodedSize(ad), EncodeAdvertisement(ad).size());
+  Advertisement empty;
+  empty.id = {1, 1};
+  EXPECT_EQ(EncodedSize(empty), EncodeAdvertisement(empty).size());
+}
+
+TEST(AdCodecTest, RejectsBadMagicAndVersion) {
+  std::string bytes = EncodeAdvertisement(SampleAd());
+  std::string corrupted = bytes;
+  corrupted[0] = 'X';
+  EXPECT_FALSE(DecodeAdvertisement(corrupted).ok());
+  corrupted = bytes;
+  corrupted[4] = 99;  // Version field.
+  EXPECT_FALSE(DecodeAdvertisement(corrupted).ok());
+}
+
+TEST(AdCodecTest, RejectsTruncation) {
+  const std::string bytes = EncodeAdvertisement(SampleAd());
+  // Every strict prefix must fail cleanly (no crash, no success).
+  for (size_t cut = 0; cut < bytes.size(); cut += 7) {
+    EXPECT_FALSE(DecodeAdvertisement(bytes.substr(0, cut)).ok())
+        << "cut=" << cut;
+  }
+}
+
+TEST(AdCodecTest, RejectsTrailingBytes) {
+  std::string bytes = EncodeAdvertisement(SampleAd());
+  bytes += "junk";
+  EXPECT_FALSE(DecodeAdvertisement(bytes).ok());
+}
+
+TEST(AdCodecTest, RejectsCorruptSketchGeometry) {
+  // Build an ad with 1 sketch and corrupt the declared count upward.
+  Advertisement ad;
+  ad.id = {1, 1};
+  sketch::FmSketchArray::Options options;
+  options.num_sketches = 1;
+  options.length_bits = 8;
+  ad.sketches = sketch::FmSketchArray(options);
+  std::string bytes = EncodeAdvertisement(ad);
+  // num_sketches is 10 bytes from the end (u16 F, u16 L, u64 seed, u64*1):
+  // locate it by re-encoding with a marker instead: simpler — flip the
+  // last 8-byte bitmap to have bits beyond length 8.
+  bytes[bytes.size() - 1] = '\xFF';
+  EXPECT_FALSE(DecodeAdvertisement(bytes).ok());
+}
+
+TEST(AdCodecTest, FuzzRandomBytesNeverCrash) {
+  Rng rng(99);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string junk;
+    const size_t size = rng.NextUint64(200);
+    junk.reserve(size);
+    for (size_t i = 0; i < size; ++i) {
+      junk.push_back(static_cast<char>(rng.NextUint64(256)));
+    }
+    // Must not crash; success is effectively impossible without the magic.
+    auto decoded = DecodeAdvertisement(junk);
+    EXPECT_FALSE(decoded.ok());
+  }
+}
+
+}  // namespace
+}  // namespace madnet::core

@@ -1,0 +1,114 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+
+#include "core/advertisement.h"
+
+#include <gtest/gtest.h>
+
+namespace madnet::core {
+namespace {
+
+Advertisement MakeAd(net::NodeId issuer = 3, uint32_t seq = 7) {
+  Advertisement ad;
+  ad.id = AdId{issuer, seq};
+  ad.issue_time = 100.0;
+  ad.issue_location = {2500.0, 2500.0};
+  ad.initial_radius_m = 1000.0;
+  ad.initial_duration_s = 800.0;
+  ad.radius_m = 1000.0;
+  ad.duration_s = 800.0;
+  ad.content = {"petrol", {"discount"}, "cheap fuel"};
+  return ad;
+}
+
+TEST(AdIdTest, KeyPacksIssuerAndSequence) {
+  AdId id{0x1234, 0x5678};
+  EXPECT_EQ(id.Key(), 0x0000123400005678ULL);
+  EXPECT_EQ(AdId({1, 2}), AdId({1, 2}));
+  EXPECT_FALSE(AdId({1, 2}) == AdId({1, 3}));
+  EXPECT_FALSE(AdId({1, 2}) == AdId({2, 2}));
+}
+
+TEST(AdContentTest, SizeCountsAllParts) {
+  AdContent content{"petrol", {"a", "bb"}, "hello"};
+  // 6 + 5 + (1+1) + (2+1) = 16.
+  EXPECT_EQ(content.SizeBytes(), 16u);
+  EXPECT_EQ(AdContent{}.SizeBytes(), 0u);
+}
+
+TEST(AdvertisementTest, AgeAndExpiry) {
+  Advertisement ad = MakeAd();
+  EXPECT_DOUBLE_EQ(ad.AgeAt(150.0), 50.0);
+  EXPECT_FALSE(ad.ExpiredAt(900.0));   // Age 800 == D: not yet expired.
+  EXPECT_TRUE(ad.ExpiredAt(900.001));  // Age > D.
+}
+
+TEST(AdvertisementTest, WireSizeIncludesSketches) {
+  Advertisement ad = MakeAd();
+  const uint32_t base = ad.WireSizeBytes();
+  // 16 sketches x 32 bits = 64 bytes of sketch payload plus header+content.
+  EXPECT_GE(base, 64u);
+  sketch::FmSketchArray::Options small;
+  small.num_sketches = 1;
+  small.length_bits = 8;
+  ad.sketches = sketch::FmSketchArray(small);
+  EXPECT_LT(ad.WireSizeBytes(), base);
+}
+
+TEST(AdvertisementTest, MergeTakesMaxAndUnions) {
+  Advertisement a = MakeAd();
+  Advertisement b = MakeAd();
+  b.radius_m = 1200.0;
+  b.duration_s = 700.0;  // Smaller: must not shrink a.
+  a.duration_s = 900.0;
+  a.sketches.AddUser(1);
+  b.sketches.AddUser(2);
+
+  Advertisement expected_sketches = MakeAd();
+  expected_sketches.sketches.AddUser(1);
+  expected_sketches.sketches.AddUser(2);
+
+  a.MergeFrom(b);
+  EXPECT_DOUBLE_EQ(a.radius_m, 1200.0);
+  EXPECT_DOUBLE_EQ(a.duration_s, 900.0);
+  EXPECT_TRUE(a.sketches == expected_sketches.sketches);
+}
+
+TEST(AdvertisementTest, MergeIgnoresDifferentAd) {
+  Advertisement a = MakeAd(3, 7);
+  Advertisement other = MakeAd(3, 8);
+  other.radius_m = 9999.0;
+  a.MergeFrom(other);
+  EXPECT_DOUBLE_EQ(a.radius_m, 1000.0);
+}
+
+TEST(PacketTest, GossipPacketCarriesAd) {
+  Advertisement ad = MakeAd();
+  net::Packet packet = MakeGossipPacket(ad);
+  EXPECT_EQ(packet.size_bytes, ad.WireSizeBytes());
+  const auto* message =
+      dynamic_cast<const GossipMessage*>(packet.payload.get());
+  ASSERT_NE(message, nullptr);
+  EXPECT_EQ(message->ad.id, ad.id);
+}
+
+TEST(PacketTest, FloodPacketCarriesRoundAndLimit) {
+  Advertisement ad = MakeAd();
+  net::Packet packet = MakeFloodPacket(ad, 12, 800.0);
+  EXPECT_GT(packet.size_bytes, ad.WireSizeBytes());
+  const auto* message =
+      dynamic_cast<const FloodMessage*>(packet.payload.get());
+  ASSERT_NE(message, nullptr);
+  EXPECT_EQ(message->round, 12u);
+  EXPECT_DOUBLE_EQ(message->radius_limit, 800.0);
+}
+
+TEST(PacketTest, PayloadTypesAreDistinct) {
+  Advertisement ad = MakeAd();
+  net::Packet gossip = MakeGossipPacket(ad);
+  net::Packet flood = MakeFloodPacket(ad, 1, 100.0);
+  EXPECT_EQ(dynamic_cast<const FloodMessage*>(gossip.payload.get()), nullptr);
+  EXPECT_EQ(dynamic_cast<const GossipMessage*>(flood.payload.get()), nullptr);
+}
+
+}  // namespace
+}  // namespace madnet::core

@@ -1,0 +1,248 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+
+#include "core/propagation.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace madnet::core {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+PropagationParams Params(double alpha = 0.5, double beta = 0.5) {
+  PropagationParams p;
+  p.alpha = alpha;
+  p.beta = beta;
+  p.distance_unit_m = 100.0;
+  p.outside_unit_m = 10.0;
+  p.time_unit_s = 10.0;
+  return p;
+}
+
+TEST(ParamsTest, Validation) {
+  EXPECT_TRUE(Params().Valid());
+  PropagationParams p = Params();
+  p.alpha = 0.0;
+  EXPECT_FALSE(p.Valid());
+  p = Params();
+  p.alpha = 1.0;
+  EXPECT_FALSE(p.Valid());
+  p = Params();
+  p.beta = -0.1;
+  EXPECT_FALSE(p.Valid());
+  p = Params();
+  p.distance_unit_m = 0.0;
+  EXPECT_FALSE(p.Valid());
+}
+
+// --- Formula 1 ---
+
+TEST(Formula1Test, HighInsideLowOutside) {
+  const auto params = Params();
+  const double r = 1000.0;
+  EXPECT_GT(ForwardingProbability(0.0, r, params), 0.999);
+  EXPECT_GT(ForwardingProbability(r / 2.0, r, params), 0.95);
+  // Outside decays to ~0 quickly.
+  EXPECT_LT(ForwardingProbability(r + 100.0, r, params), 1e-3);
+  EXPECT_NEAR(ForwardingProbability(5.0 * r, r, params), 0.0, 1e-9);
+}
+
+TEST(Formula1Test, ContinuousAtBoundary) {
+  const auto params = Params();
+  const double r = 1000.0;
+  const double inside = ForwardingProbability(r, r, params);
+  const double outside = ForwardingProbability(r + 1e-9, r, params);
+  // Both branches give 1 - alpha at d = r.
+  EXPECT_NEAR(inside, 1.0 - params.alpha, 1e-6);
+  EXPECT_NEAR(inside, outside, 1e-6);
+}
+
+TEST(Formula1Test, MonotoneDecreasingInDistance) {
+  const auto params = Params();
+  const double r = 1000.0;
+  double previous = 1.1;
+  for (double d = 0.0; d <= 2000.0; d += 25.0) {
+    const double p = ForwardingProbability(d, r, params);
+    EXPECT_LE(p, previous + 1e-12) << "d=" << d;
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    previous = p;
+  }
+}
+
+TEST(Formula1Test, HigherAlphaLowerProbability) {
+  // "Higher alpha leads to lower P since a faster drop in probability" —
+  // inside the advertising area. (Outside, a higher alpha decays *slower*,
+  // which is inherent to the (1-alpha)*alpha^x branch.)
+  const double r = 1000.0;
+  for (double d : {700.0, 900.0, 990.0, 1000.0}) {
+    const double p_low = ForwardingProbability(d, r, Params(0.1));
+    const double p_high = ForwardingProbability(d, r, Params(0.9));
+    EXPECT_GT(p_low, p_high) << "d=" << d;
+  }
+}
+
+TEST(Formula1Test, ZeroAndNegativeInputs) {
+  const auto params = Params();
+  EXPECT_DOUBLE_EQ(ForwardingProbability(100.0, 0.0, params), 0.0);
+  EXPECT_DOUBLE_EQ(ForwardingProbability(100.0, -5.0, params), 0.0);
+  // Negative distance clamps to 0.
+  EXPECT_DOUBLE_EQ(ForwardingProbability(-10.0, 1000.0, params),
+                   ForwardingProbability(0.0, 1000.0, params));
+}
+
+// --- Formula 2 ---
+
+TEST(Formula2Test, StableEarlyZeroAfterExpiry) {
+  const auto params = Params();
+  const double r = 1000.0;
+  const double d = 800.0;
+  EXPECT_NEAR(RadiusAtAge(r, d, 0.0, params), r, 1.0);
+  EXPECT_NEAR(RadiusAtAge(r, d, d / 2.0, params), r, 1.0);
+  EXPECT_DOUBLE_EQ(RadiusAtAge(r, d, d + 0.001, params), 0.0);
+  // At exactly t = D the radius has collapsed to (1 - beta^1) R.
+  EXPECT_NEAR(RadiusAtAge(r, d, d, params), (1.0 - params.beta) * r, 1e-9);
+}
+
+TEST(Formula2Test, MonotoneDecreasingInAge) {
+  const auto params = Params();
+  double previous = 1001.0;
+  for (double age = 0.0; age <= 900.0; age += 10.0) {
+    const double rt = RadiusAtAge(1000.0, 800.0, age, params);
+    EXPECT_LE(rt, previous + 1e-9);
+    EXPECT_GE(rt, 0.0);
+    previous = rt;
+  }
+}
+
+TEST(Formula2Test, NegativeAgeClampsToIssueTime) {
+  const auto params = Params();
+  EXPECT_DOUBLE_EQ(RadiusAtAge(1000.0, 800.0, -5.0, params),
+                   RadiusAtAge(1000.0, 800.0, 0.0, params));
+}
+
+TEST(Formula2Test, BetaShapesOnlyTheTail) {
+  // Section IV-C: beta has negligible impact except near expiry.
+  const double early_low = RadiusAtAge(1000.0, 800.0, 100.0, Params(0.5, 0.1));
+  const double early_high = RadiusAtAge(1000.0, 800.0, 100.0, Params(0.5, 0.9));
+  EXPECT_NEAR(early_low, early_high, 5.0);
+  const double late_low = RadiusAtAge(1000.0, 800.0, 795.0, Params(0.5, 0.1));
+  const double late_high = RadiusAtAge(1000.0, 800.0, 795.0, Params(0.5, 0.9));
+  EXPECT_GT(late_low, late_high);  // Lower beta keeps the radius up longer.
+}
+
+// --- Formula 3 ---
+
+TEST(Formula3Test, MatchesFormula1InAnnulusAndOutside) {
+  const auto params = Params();
+  const double r = 1000.0;
+  const double dis = 250.0;
+  for (double d : {750.0, 800.0, 900.0, 1000.0, 1100.0, 1500.0}) {
+    EXPECT_DOUBLE_EQ(AnnulusForwardingProbability(d, r, dis, params),
+                     ForwardingProbability(d, r, params))
+        << "d=" << d;
+  }
+}
+
+TEST(Formula3Test, SuppressedInCentralDisc) {
+  const auto params = Params();
+  const double r = 1000.0;
+  const double dis = 250.0;
+  // Deep inside, the annulus probability is far below the plain one.
+  for (double d : {0.0, 200.0, 500.0}) {
+    const double annulus = AnnulusForwardingProbability(d, r, dis, params);
+    const double plain = ForwardingProbability(d, r, params);
+    EXPECT_LT(annulus, 0.01) << "d=" << d;
+    EXPECT_GT(plain, 0.9) << "d=" << d;
+  }
+}
+
+TEST(Formula3Test, ContinuousAtInnerEdge) {
+  const auto params = Params();
+  const double r = 1000.0;
+  const double dis = 250.0;
+  const double inner = r - dis;
+  EXPECT_NEAR(AnnulusForwardingProbability(inner - 1e-9, r, dis, params),
+              AnnulusForwardingProbability(inner, r, dis, params), 1e-6);
+}
+
+TEST(Formula3Test, PeaksInsideAnnulus) {
+  const auto params = Params();
+  const double r = 1000.0;
+  const double dis = 250.0;
+  // Probability rises from the centre to the annulus, then falls outside.
+  const double center = AnnulusForwardingProbability(100.0, r, dis, params);
+  const double annulus = AnnulusForwardingProbability(800.0, r, dis, params);
+  const double outside = AnnulusForwardingProbability(1200.0, r, dis, params);
+  EXPECT_GT(annulus, center);
+  EXPECT_GT(annulus, outside);
+}
+
+TEST(Formula3Test, WideDisFallsBackToFormula1) {
+  const auto params = Params();
+  const double r = 1000.0;
+  for (double d : {0.0, 500.0, 999.0, 1200.0}) {
+    EXPECT_DOUBLE_EQ(AnnulusForwardingProbability(d, r, r, params),
+                     ForwardingProbability(d, r, params));
+    EXPECT_DOUBLE_EQ(AnnulusForwardingProbability(d, r, 2.0 * r, params),
+                     ForwardingProbability(d, r, params));
+  }
+}
+
+TEST(Formula3Test, ProbabilityBounds) {
+  const auto params = Params(0.3, 0.5);
+  for (double d = 0.0; d <= 2000.0; d += 10.0) {
+    const double p = AnnulusForwardingProbability(d, 1000.0, 250.0, params);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+// --- Formula 4 ---
+
+TEST(Formula4Test, ZeroOverlapNoPostpone) {
+  EXPECT_DOUBLE_EQ(PostponeInterval(5.0, 0.0, 0.0), 0.0);
+}
+
+TEST(Formula4Test, MaximalWhenCoincidentAndHeadOn) {
+  // p = 1, theta = 0: interval = round * e.
+  EXPECT_NEAR(PostponeInterval(5.0, 1.0, 0.0), 5.0 * std::exp(1.0), 1e-9);
+}
+
+TEST(Formula4Test, MonotoneInOverlap) {
+  double previous = -1.0;
+  for (double p = 0.0; p <= 1.0; p += 0.05) {
+    const double interval = PostponeInterval(5.0, p, 0.5);
+    EXPECT_GE(interval, previous);
+    previous = interval;
+  }
+}
+
+TEST(Formula4Test, DecreasingInAngle) {
+  double previous = 1e9;
+  for (double theta = 0.0; theta <= kPi; theta += kPi / 16.0) {
+    const double interval = PostponeInterval(5.0, 0.7, theta);
+    EXPECT_LE(interval, previous + 1e-12);
+    previous = interval;
+  }
+  // Receding straight away (theta = pi): cos(pi/2) = 0, no postponement.
+  EXPECT_NEAR(PostponeInterval(5.0, 0.7, kPi), 0.0, 1e-9);
+}
+
+TEST(Formula4Test, ClampsOutOfRangeInputs) {
+  EXPECT_DOUBLE_EQ(PostponeInterval(5.0, -0.5, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(PostponeInterval(5.0, 2.0, 0.0),
+                   PostponeInterval(5.0, 1.0, 0.0));
+  EXPECT_DOUBLE_EQ(PostponeInterval(5.0, 0.5, 10.0),
+                   PostponeInterval(5.0, 0.5, kPi));
+}
+
+TEST(VelocityDisTest, Product) {
+  EXPECT_DOUBLE_EQ(VelocityConstrainedDis(15.0, 5.0), 75.0);
+  EXPECT_DOUBLE_EQ(VelocityConstrainedDis(0.0, 5.0), 0.0);
+}
+
+}  // namespace
+}  // namespace madnet::core

@@ -1,0 +1,111 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+
+#include "mobility/hotspot_waypoint.h"
+
+#include <gtest/gtest.h>
+
+namespace madnet::mobility {
+namespace {
+
+HotspotWaypoint::Options BaseOptions() {
+  HotspotWaypoint::Options options;
+  options.area = Rect{{0.0, 0.0}, {2000.0, 2000.0}};
+  options.hotspots = {
+      {{500.0, 500.0}, 80.0, 2.0},
+      {{1500.0, 1500.0}, 80.0, 1.0},
+  };
+  options.hotspot_probability = 0.8;
+  return options;
+}
+
+TEST(HotspotWaypointTest, StaysInsideArea) {
+  HotspotWaypoint model(BaseOptions(), Rng(1));
+  for (double t = 0.0; t <= 2000.0; t += 9.7) {
+    EXPECT_TRUE(BaseOptions().area.Contains(model.PositionAt(t))) << t;
+  }
+}
+
+TEST(HotspotWaypointTest, LegsAbutAndSpeedsBounded) {
+  const auto options = BaseOptions();
+  HotspotWaypoint model(options, Rng(2));
+  model.EnsureHorizon(2000.0);
+  const auto& legs = model.legs();
+  for (size_t i = 1; i < legs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(legs[i].start, legs[i - 1].end);
+    EXPECT_EQ(legs[i].from, legs[i - 1].to);
+    if (!(legs[i].from == legs[i].to)) {
+      const double speed = legs[i].Velocity().Norm();
+      EXPECT_GE(speed, options.min_speed_mps - 1e-9);
+      EXPECT_LE(speed, options.max_speed_mps + 1e-9);
+    }
+  }
+}
+
+TEST(HotspotWaypointTest, WaypointsConcentrateAtHotspots) {
+  // Count waypoints (travel-leg endpoints) near the hotspots vs far.
+  const auto options = BaseOptions();
+  HotspotWaypoint model(options, Rng(3));
+  model.EnsureHorizon(50000.0);
+  int near_hotspot = 0;
+  int total = 0;
+  for (const Leg& leg : model.legs()) {
+    if (leg.from == leg.to) continue;  // Pause.
+    ++total;
+    for (const auto& hotspot : options.hotspots) {
+      if (Distance(leg.to, hotspot.center) < 3.0 * hotspot.sigma_m) {
+        ++near_hotspot;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(total, 50);
+  // ~80% of waypoints should be hotspot-drawn; the two 3-sigma discs cover
+  // only ~4.5% of the area, so uniform choice alone could not reach this.
+  EXPECT_GT(static_cast<double>(near_hotspot) / total, 0.6);
+}
+
+TEST(HotspotWaypointTest, WeightsSkewHotspotChoice) {
+  const auto options = BaseOptions();  // Weights 2 : 1.
+  HotspotWaypoint model(options, Rng(4));
+  model.EnsureHorizon(50000.0);
+  int near_first = 0;
+  int near_second = 0;
+  for (const Leg& leg : model.legs()) {
+    if (leg.from == leg.to) continue;
+    if (Distance(leg.to, options.hotspots[0].center) < 240.0) ++near_first;
+    if (Distance(leg.to, options.hotspots[1].center) < 240.0) ++near_second;
+  }
+  EXPECT_GT(near_first, near_second * 3 / 2);
+}
+
+TEST(HotspotWaypointTest, ZeroProbabilityIsPlainWaypoint) {
+  HotspotWaypoint::Options options;
+  options.area = Rect{{0.0, 0.0}, {2000.0, 2000.0}};
+  options.hotspot_probability = 0.0;  // No hotspots needed.
+  HotspotWaypoint model(options, Rng(5));
+  model.EnsureHorizon(5000.0);
+  // Waypoints roughly uniform: mean near the area centre.
+  double sx = 0.0;
+  double sy = 0.0;
+  int n = 0;
+  for (const Leg& leg : model.legs()) {
+    if (leg.from == leg.to) continue;
+    sx += leg.to.x;
+    sy += leg.to.y;
+    ++n;
+  }
+  ASSERT_GT(n, 10);
+  EXPECT_NEAR(sx / n, 1000.0, 250.0);
+  EXPECT_NEAR(sy / n, 1000.0, 250.0);
+}
+
+TEST(HotspotWaypointTest, DeterministicInSeed) {
+  HotspotWaypoint a(BaseOptions(), Rng(6));
+  HotspotWaypoint b(BaseOptions(), Rng(6));
+  for (double t = 0.0; t < 500.0; t += 17.0) {
+    EXPECT_EQ(a.PositionAt(t), b.PositionAt(t));
+  }
+}
+
+}  // namespace
+}  // namespace madnet::mobility

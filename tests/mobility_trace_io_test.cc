@@ -1,0 +1,151 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+
+#include "mobility/trace_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "mobility/random_waypoint.h"
+#include "util/random.h"
+
+namespace madnet::mobility {
+namespace {
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/madnet_trace_test.txt";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void WriteFile(const std::string& content) {
+    std::ofstream out(path_, std::ios::trunc);
+    out << content;
+  }
+
+  std::string path_;
+};
+
+TEST_F(TraceIoTest, RoundTripsRandomWaypointTraces) {
+  RandomWaypoint::Options options;
+  options.area = Rect{{0.0, 0.0}, {1000.0, 1000.0}};
+  TraceSet original;
+  for (uint32_t id = 0; id < 5; ++id) {
+    RandomWaypoint model(options, Rng(100 + id));
+    original.emplace_back(id, Trace::Record(&model, 300.0));
+  }
+  ASSERT_TRUE(SaveTraces(path_, original).ok());
+
+  auto loaded = LoadTraces(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].first, original[i].first);
+    const auto& a = original[i].second.legs();
+    const auto& b = (*loaded)[i].second.legs();
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t j = 0; j < a.size(); ++j) {
+      // %.17g round-trips doubles exactly.
+      EXPECT_EQ(a[j].start, b[j].start);
+      EXPECT_EQ(a[j].end, b[j].end);
+      EXPECT_EQ(a[j].from, b[j].from);
+      EXPECT_EQ(a[j].to, b[j].to);
+    }
+  }
+}
+
+TEST_F(TraceIoTest, ReplayedTraceMatchesOriginalPositions) {
+  RandomWaypoint::Options options;
+  options.area = Rect{{0.0, 0.0}, {1000.0, 1000.0}};
+  RandomWaypoint model(options, Rng(7));
+  TraceSet set;
+  set.emplace_back(3, Trace::Record(&model, 200.0));
+  ASSERT_TRUE(SaveTraces(path_, set).ok());
+  auto loaded = LoadTraces(path_);
+  ASSERT_TRUE(loaded.ok());
+  TraceReplay replay((*loaded)[0].second);
+  for (double t = 0.0; t <= 200.0; t += 7.7) {
+    EXPECT_EQ(replay.PositionAt(t), model.PositionAt(t)) << t;
+  }
+}
+
+TEST_F(TraceIoTest, EmptyTraceSetRoundTrips) {
+  ASSERT_TRUE(SaveTraces(path_, {}).ok());
+  auto loaded = LoadTraces(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+}
+
+TEST_F(TraceIoTest, MissingFileFails) {
+  EXPECT_FALSE(LoadTraces("/no/such/dir/file.txt").ok());
+  EXPECT_FALSE(SaveTraces("/no/such/dir/file.txt", {}).ok());
+}
+
+TEST_F(TraceIoTest, BadHeaderRejected) {
+  WriteFile("not-a-trace 1\nnode 0 0\n");
+  EXPECT_FALSE(LoadTraces(path_).ok());
+  WriteFile("madnet-trace 99\n");
+  EXPECT_FALSE(LoadTraces(path_).ok());
+  WriteFile("");
+  EXPECT_FALSE(LoadTraces(path_).ok());
+}
+
+TEST_F(TraceIoTest, CommentsAndBlankLinesSkipped) {
+  WriteFile(
+      "# a comment\n\nmadnet-trace 1\n# another\nnode 4 1\n"
+      "0 10 0 0 100 0\n");
+  auto loaded = LoadTraces(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_EQ((*loaded)[0].first, 4u);
+}
+
+TEST_F(TraceIoTest, TruncatedLegsRejected) {
+  WriteFile("madnet-trace 1\nnode 0 2\n0 10 0 0 100 0\n");
+  EXPECT_FALSE(LoadTraces(path_).ok());
+}
+
+TEST_F(TraceIoTest, MalformedLegRejected) {
+  WriteFile("madnet-trace 1\nnode 0 1\n0 10 0 0 oops 0\n");
+  EXPECT_FALSE(LoadTraces(path_).ok());
+}
+
+TEST_F(TraceIoTest, Ns2ExportContainsSetdestLines) {
+  auto trace = Trace::FromLegs({Leg{0.0, 10.0, {5.0, 6.0}, {105.0, 6.0}},
+                                Leg{10.0, 15.0, {105.0, 6.0}, {105.0, 6.0}},
+                                Leg{15.0, 25.0, {105.0, 6.0}, {105.0, 106.0}}});
+  ASSERT_TRUE(trace.ok());
+  TraceSet set;
+  set.emplace_back(3, std::move(trace).value());
+  ASSERT_TRUE(SaveNs2Movements(path_, set).ok());
+  std::ifstream in(path_);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  // Initial position lines.
+  EXPECT_NE(content.find("$node_(3) set X_ 5.000000"), std::string::npos);
+  EXPECT_NE(content.find("$node_(3) set Y_ 6.000000"), std::string::npos);
+  // Two motion legs (10 m/s each), no setdest for the pause leg.
+  EXPECT_NE(content.find("$ns_ at 0.000000 \"$node_(3) setdest 105.000000 "
+                         "6.000000 10.000000\""),
+            std::string::npos);
+  EXPECT_NE(content.find("$ns_ at 15.000000 \"$node_(3) setdest 105.000000 "
+                         "106.000000 10.000000\""),
+            std::string::npos);
+  EXPECT_EQ(content.find("$ns_ at 10.000000"), std::string::npos);
+}
+
+TEST_F(TraceIoTest, Ns2ExportBadPathFails) {
+  EXPECT_FALSE(SaveNs2Movements("/no/such/dir/file.txt", {}).ok());
+}
+
+TEST_F(TraceIoTest, DiscontinuousLegsRejected) {
+  // Legs that do not abut fail Trace::FromLegs validation on load.
+  WriteFile(
+      "madnet-trace 1\nnode 0 2\n0 10 0 0 100 0\n20 30 100 0 200 0\n");
+  EXPECT_FALSE(LoadTraces(path_).ok());
+}
+
+}  // namespace
+}  // namespace madnet::mobility

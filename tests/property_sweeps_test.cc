@@ -1,0 +1,223 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+//
+// Parameterized property sweeps (TEST_P / INSTANTIATE_TEST_SUITE_P):
+// invariants that must hold across whole parameter ranges, not just the
+// defaults — the propagation formulas over alpha, the cache over its
+// capacity, the overlap fraction over the radio range, the RNG over
+// bounds, and the Manhattan model over seeds.
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/ad_cache.h"
+#include "core/propagation.h"
+#include "mobility/manhattan_grid.h"
+#include "util/geometry.h"
+#include "util/random.h"
+
+namespace madnet {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// ---------------------------------------------------------------------
+// Formula properties over the whole alpha range.
+
+class AlphaSweep : public ::testing::TestWithParam<double> {
+ protected:
+  core::PropagationParams Params() const {
+    core::PropagationParams p;
+    p.alpha = GetParam();
+    return p;
+  }
+};
+
+TEST_P(AlphaSweep, Formula1BoundedAndMonotone) {
+  const auto params = Params();
+  const double r = 1000.0;
+  double previous = 1.1;
+  for (double d = 0.0; d <= 2500.0; d += 10.0) {
+    const double p = core::ForwardingProbability(d, r, params);
+    ASSERT_GE(p, 0.0) << "d=" << d;
+    ASSERT_LE(p, 1.0) << "d=" << d;
+    ASSERT_LE(p, previous + 1e-12) << "d=" << d;
+    previous = p;
+  }
+}
+
+TEST_P(AlphaSweep, Formula1ContinuousAtRadius) {
+  const auto params = Params();
+  const double r = 1000.0;
+  EXPECT_NEAR(core::ForwardingProbability(r - 1e-9, r, params),
+              core::ForwardingProbability(r + 1e-9, r, params), 1e-6);
+}
+
+TEST_P(AlphaSweep, Formula3ContinuousAtBothEdges) {
+  const auto params = Params();
+  const double r = 1000.0;
+  const double dis = 250.0;
+  EXPECT_NEAR(
+      core::AnnulusForwardingProbability(r - dis - 1e-9, r, dis, params),
+      core::AnnulusForwardingProbability(r - dis + 1e-9, r, dis, params),
+      1e-6);
+  EXPECT_NEAR(core::AnnulusForwardingProbability(r - 1e-9, r, dis, params),
+              core::AnnulusForwardingProbability(r + 1e-9, r, dis, params),
+              1e-6);
+}
+
+TEST_P(AlphaSweep, Formula3NeverExceedsFormula1) {
+  // Suppression only removes forwarding opportunity; it never adds any.
+  const auto params = Params();
+  const double r = 1000.0;
+  for (double dis : {50.0, 250.0, 500.0}) {
+    for (double d = 0.0; d <= 1500.0; d += 25.0) {
+      ASSERT_LE(core::AnnulusForwardingProbability(d, r, dis, params),
+                core::ForwardingProbability(d, r, params) + 1e-12)
+          << "dis=" << dis << " d=" << d;
+    }
+  }
+}
+
+TEST_P(AlphaSweep, Formula2BoundedAndMonotoneInAge) {
+  core::PropagationParams params;
+  params.beta = GetParam();  // Sweep beta through the same grid.
+  double previous = 1e9;
+  for (double age = 0.0; age <= 1000.0; age += 5.0) {
+    const double rt = core::RadiusAtAge(1000.0, 800.0, age, params);
+    ASSERT_GE(rt, 0.0);
+    ASSERT_LE(rt, 1000.0);
+    ASSERT_LE(rt, previous + 1e-9);
+    previous = rt;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AlphaGrid, AlphaSweep,
+                         ::testing::Values(0.05, 0.1, 0.3, 0.5, 0.7, 0.9,
+                                           0.99));
+
+// ---------------------------------------------------------------------
+// Cache: online eviction retains exactly the top-k probabilities.
+
+class CacheCapacitySweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CacheCapacitySweep, RetainsExactTopK) {
+  const size_t k = GetParam();
+  core::AdCache cache(k);
+  Rng rng(77);
+  std::vector<double> all;
+  for (uint32_t i = 0; i < 200; ++i) {
+    core::CacheEntry entry;
+    entry.ad.id = core::AdId{1, i};
+    entry.probability = rng.NextDouble();
+    all.push_back(entry.probability);
+    sim::EventId evicted;
+    cache.Insert(std::move(entry), &evicted);
+  }
+  ASSERT_EQ(cache.Size(), std::min(k, all.size()));
+
+  std::vector<double> retained;
+  cache.ForEach([&](uint64_t, core::CacheEntry& entry) {
+    retained.push_back(entry.probability);
+  });
+  std::sort(all.rbegin(), all.rend());
+  std::sort(retained.rbegin(), retained.rend());
+  for (size_t i = 0; i < retained.size(); ++i) {
+    EXPECT_DOUBLE_EQ(retained[i], all[i]) << "rank " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, CacheCapacitySweep,
+                         ::testing::Values(1, 2, 3, 5, 10, 50, 199, 500));
+
+// ---------------------------------------------------------------------
+// Overlap fraction: the paper's bound holds at every radio range.
+
+class OverlapRangeSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(OverlapRangeSweep, InRangeOverlapRespectsPaperBound) {
+  const double r = GetParam();
+  const double lower = 2.0 / 3.0 - std::sqrt(3.0) / (2.0 * kPi);
+  double previous = 1.1;
+  for (double frac = 0.0; frac <= 1.0; frac += 0.01) {
+    const double p = TransmissionOverlapFraction(r, frac * r);
+    ASSERT_GE(p, lower - 1e-12) << "d/r=" << frac;
+    ASSERT_LE(p, 1.0) << "d/r=" << frac;
+    ASSERT_LE(p, previous + 1e-12);
+    previous = p;
+  }
+  EXPECT_NEAR(TransmissionOverlapFraction(r, r), lower, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, OverlapRangeSweep,
+                         ::testing::Values(1.0, 50.0, 250.0, 1000.0));
+
+// ---------------------------------------------------------------------
+// RNG: bounded integers are uniform and complete for any bound.
+
+class RngBoundSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngBoundSweep, BoundedUniformHitsAllValues) {
+  const uint64_t bound = GetParam();
+  Rng rng(bound * 31 + 1);
+  std::vector<uint64_t> counts(bound, 0);
+  const uint64_t draws = std::max<uint64_t>(20000, bound * 200);
+  for (uint64_t i = 0; i < draws; ++i) {
+    const uint64_t v = rng.NextUint64(bound);
+    ASSERT_LT(v, bound);
+    counts[v]++;
+  }
+  const double expected = static_cast<double>(draws) / bound;
+  for (uint64_t v = 0; v < bound; ++v) {
+    EXPECT_GT(counts[v], 0u) << "value " << v << " never drawn";
+    EXPECT_NEAR(counts[v], expected, expected * 0.25 + 30) << "value " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundSweep,
+                         ::testing::Values(1, 2, 3, 7, 10, 64, 100));
+
+// ---------------------------------------------------------------------
+// Manhattan grid: street and bound invariants across seeds.
+
+class ManhattanSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ManhattanSeedSweep, StaysOnStreetsAndInBounds) {
+  mobility::ManhattanGrid::Options options;
+  options.area = Rect{{0.0, 0.0}, {2400.0, 1800.0}};
+  options.block_size_m = 300.0;
+  mobility::ManhattanGrid model(options, Rng(GetParam()));
+  for (double t = 0.0; t < 600.0; t += 1.7) {
+    const Vec2 p = model.PositionAt(t);
+    ASSERT_TRUE(options.area.Contains(p)) << "t=" << t;
+    const double fx = std::fmod(p.x, options.block_size_m);
+    const double fy = std::fmod(p.y, options.block_size_m);
+    const bool on_street =
+        std::min(fx, options.block_size_m - fx) < 1e-6 ||
+        std::min(fy, options.block_size_m - fy) < 1e-6;
+    ASSERT_TRUE(on_street) << "t=" << t << " at " << p.ToString();
+  }
+}
+
+TEST_P(ManhattanSeedSweep, SpeedsWithinConfiguredBand) {
+  mobility::ManhattanGrid::Options options;
+  options.area = Rect{{0.0, 0.0}, {2400.0, 1800.0}};
+  options.block_size_m = 300.0;
+  options.min_speed_mps = 4.0;
+  options.max_speed_mps = 9.0;
+  mobility::ManhattanGrid model(options, Rng(GetParam()));
+  model.EnsureHorizon(600.0);
+  for (const auto& leg : model.legs()) {
+    const double speed = leg.Velocity().Norm();
+    ASSERT_GE(speed, options.min_speed_mps - 1e-9);
+    ASSERT_LE(speed, options.max_speed_mps + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ManhattanSeedSweep,
+                         ::testing::Values(0, 1, 2, 3, 17, 42, 1234));
+
+}  // namespace
+}  // namespace madnet

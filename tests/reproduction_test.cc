@@ -1,0 +1,94 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+//
+// Seed-swept qualitative reproduction checks: the orderings the paper's
+// Figure 7/9 report must hold on *averages over seeds* at a scaled-down
+// geometry (kept small so the whole file runs in well under a second).
+// The full-size sweeps live in bench/; these tests are the regression
+// tripwire for the shapes.
+
+#include <gtest/gtest.h>
+
+#include "scenario/experiment.h"
+
+namespace madnet::scenario {
+namespace {
+
+constexpr int kSeeds = 3;
+
+/// Scaled-down geometry: area 3200 m, R 700 m, D 250 s. Peer counts are
+/// chosen around the percolation point of this geometry (range 250 m):
+/// 40 peers => average degree ~0.8 (sparse, disconnected), 300 peers =>
+/// ~5.8 (dense, giant component).
+ScenarioConfig SmallConfig(Method method, int peers) {
+  ScenarioConfig config;
+  config.method = method;
+  config.num_peers = peers;
+  config.area_size_m = 3200.0;
+  config.issue_location = {1600.0, 1600.0};
+  config.initial_radius_m = 700.0;
+  config.initial_duration_s = 250.0;
+  config.sim_time_s = 400.0;
+  config.issue_time_s = 30.0;
+  config.seed = 100;
+  return config;
+}
+
+double MeanDeliveryRate(Method method, int peers) {
+  return RunReplicated(SmallConfig(method, peers), kSeeds).DeliveryRate();
+}
+
+double MeanMessages(Method method, int peers) {
+  return RunReplicated(SmallConfig(method, peers), kSeeds).Messages();
+}
+
+TEST(ReproductionTest, DenseAllMethodsDeliver) {
+  for (Method method : {Method::kFlooding, Method::kGossip,
+                        Method::kOptimized1, Method::kOptimized2,
+                        Method::kOptimized}) {
+    EXPECT_GT(MeanDeliveryRate(method, 300), 90.0) << MethodName(method);
+  }
+}
+
+TEST(ReproductionTest, SparseGossipBeatsFloodingAndOptimized) {
+  const double gossip = MeanDeliveryRate(Method::kGossip, 40);
+  const double flooding = MeanDeliveryRate(Method::kFlooding, 40);
+  const double optimized = MeanDeliveryRate(Method::kOptimized, 40);
+  EXPECT_GT(gossip, 60.0);
+  EXPECT_GT(gossip, flooding + 5.0);
+  EXPECT_GT(gossip, optimized + 5.0);
+}
+
+TEST(ReproductionTest, SparseOpt2TracksPureGossip) {
+  const double gossip = MeanDeliveryRate(Method::kGossip, 40);
+  const double opt2 = MeanDeliveryRate(Method::kOptimized2, 40);
+  EXPECT_NEAR(opt2, gossip, 8.0);
+}
+
+TEST(ReproductionTest, DenseMessageOrdering) {
+  const double flooding = MeanMessages(Method::kFlooding, 300);
+  const double gossip = MeanMessages(Method::kGossip, 300);
+  const double opt1 = MeanMessages(Method::kOptimized1, 300);
+  const double opt2 = MeanMessages(Method::kOptimized2, 300);
+  const double optimized = MeanMessages(Method::kOptimized, 300);
+  // Pure gossip is comparable to flooding (the paper's complaint)...
+  EXPECT_GT(gossip, flooding * 0.5);
+  // ...each optimization cuts it, and the combination cuts the most.
+  EXPECT_LT(opt1, gossip * 0.8);
+  EXPECT_LT(opt2, gossip * 0.8);
+  EXPECT_LT(optimized, opt1);
+  EXPECT_LT(optimized, opt2 * 1.1);
+  EXPECT_LT(optimized, gossip * 0.35);
+}
+
+TEST(ReproductionTest, Opt2ReductionGrowsWithDensity) {
+  const double sparse_reduction =
+      1.0 - MeanMessages(Method::kOptimized2, 40) /
+                MeanMessages(Method::kGossip, 40);
+  const double dense_reduction =
+      1.0 - MeanMessages(Method::kOptimized2, 300) /
+                MeanMessages(Method::kGossip, 300);
+  EXPECT_GT(dense_reduction, sparse_reduction);
+}
+
+}  // namespace
+}  // namespace madnet::scenario

@@ -1,0 +1,123 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+
+#include "scenario/config_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace madnet::scenario {
+namespace {
+
+class ConfigIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/madnet_config_test.cfg";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void WriteFile(const std::string& content) {
+    std::ofstream out(path_, std::ios::trunc);
+    out << content;
+  }
+
+  std::string path_;
+};
+
+TEST_F(ConfigIoTest, LoadsKeysOverDefaults) {
+  WriteFile(
+      "# sparse Table II point\n"
+      "method = gossip\n"
+      "mobility = manhattan\n"
+      "peers = 100\n"
+      "radius = 900\n"
+      "alpha = 0.3\n"
+      "csma = true\n"
+      "seed = 42\n");
+  ScenarioConfig config;
+  ASSERT_TRUE(LoadConfigFile(path_, &config).ok());
+  EXPECT_EQ(config.method, Method::kGossip);
+  EXPECT_EQ(config.mobility, Mobility::kManhattanGrid);
+  EXPECT_EQ(config.num_peers, 100);
+  EXPECT_DOUBLE_EQ(config.initial_radius_m, 900.0);
+  EXPECT_DOUBLE_EQ(config.gossip.propagation.alpha, 0.3);
+  EXPECT_DOUBLE_EQ(config.flooding.propagation.alpha, 0.3);  // Mirrored.
+  EXPECT_TRUE(config.medium.csma);
+  EXPECT_EQ(config.seed, 42u);
+  // Unmentioned keys keep their Table-II defaults.
+  EXPECT_DOUBLE_EQ(config.initial_duration_s, 800.0);
+}
+
+TEST_F(ConfigIoTest, AreaRecentersIssueLocation) {
+  WriteFile("area = 3000\n");
+  ScenarioConfig config;
+  ASSERT_TRUE(LoadConfigFile(path_, &config).ok());
+  EXPECT_DOUBLE_EQ(config.area_size_m, 3000.0);
+  EXPECT_EQ(config.issue_location, (Vec2{1500.0, 1500.0}));
+}
+
+TEST_F(ConfigIoTest, RankingEnablesInterests) {
+  WriteFile("ranking = true\n");
+  ScenarioConfig config;
+  ASSERT_TRUE(LoadConfigFile(path_, &config).ok());
+  EXPECT_TRUE(config.gossip.ranking);
+  EXPECT_TRUE(config.assign_interests);
+  EXPECT_FALSE(config.interest_options.universe.empty());
+}
+
+TEST_F(ConfigIoTest, RejectsUnknownKeyWithLocation) {
+  WriteFile("peers = 100\nbogus = 1\n");
+  ScenarioConfig config;
+  Status status = LoadConfigFile(path_, &config);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find(":2:"), std::string::npos);
+  EXPECT_NE(status.message().find("bogus"), std::string::npos);
+}
+
+TEST_F(ConfigIoTest, RejectsMalformedLineAndValue) {
+  WriteFile("peers 100\n");
+  ScenarioConfig config;
+  EXPECT_FALSE(LoadConfigFile(path_, &config).ok());
+  WriteFile("peers = many\n");
+  EXPECT_FALSE(LoadConfigFile(path_, &config).ok());
+  WriteFile("method = teleport\n");
+  EXPECT_FALSE(LoadConfigFile(path_, &config).ok());
+}
+
+TEST_F(ConfigIoTest, RejectsInvalidResultingConfig) {
+  WriteFile("speed = 1\nspeed_delta = 5\n");  // Min speed would be negative.
+  ScenarioConfig config;
+  EXPECT_FALSE(LoadConfigFile(path_, &config).ok());
+}
+
+TEST_F(ConfigIoTest, MissingFileFails) {
+  ScenarioConfig config;
+  EXPECT_FALSE(LoadConfigFile("/no/such/file.cfg", &config).ok());
+}
+
+TEST_F(ConfigIoTest, SaveLoadRoundTrip) {
+  ScenarioConfig original;
+  original.method = Method::kOptimized2;
+  original.mobility = Mobility::kHotspot;
+  original.num_peers = 123;
+  original.initial_radius_m = 750.0;
+  original.gossip.propagation.alpha = 0.4;
+  original.medium.csma = true;
+  original.seed = 99;
+  WriteFile(SaveConfigText(original));
+
+  ScenarioConfig loaded;
+  ASSERT_TRUE(LoadConfigFile(path_, &loaded).ok());
+  EXPECT_EQ(loaded.method, original.method);
+  EXPECT_EQ(loaded.mobility, original.mobility);
+  EXPECT_EQ(loaded.num_peers, original.num_peers);
+  EXPECT_DOUBLE_EQ(loaded.initial_radius_m, original.initial_radius_m);
+  EXPECT_DOUBLE_EQ(loaded.gossip.propagation.alpha,
+                   original.gossip.propagation.alpha);
+  EXPECT_TRUE(loaded.medium.csma);
+  EXPECT_EQ(loaded.seed, original.seed);
+}
+
+}  // namespace
+}  // namespace madnet::scenario

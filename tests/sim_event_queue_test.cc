@@ -1,0 +1,122 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+
+#include "sim/event_queue.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace madnet::sim {
+namespace {
+
+TEST(EventQueueTest, StartsEmpty) {
+  EventQueue queue;
+  EXPECT_TRUE(queue.Empty());
+  EXPECT_EQ(queue.Size(), 0u);
+}
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.Push(3.0, [&] { order.push_back(3); });
+  queue.Push(1.0, [&] { order.push_back(1); });
+  queue.Push(2.0, [&] { order.push_back(2); });
+  while (!queue.Empty()) {
+    auto [when, cb] = queue.Pop();
+    (void)when;
+    cb();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, FifoAmongEqualTimes) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.Push(5.0, [&order, i] { order.push_back(i); });
+  }
+  while (!queue.Empty()) queue.Pop().second();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, NextTimeReportsEarliest) {
+  EventQueue queue;
+  queue.Push(7.0, [] {});
+  queue.Push(2.5, [] {});
+  EXPECT_DOUBLE_EQ(queue.NextTime(), 2.5);
+}
+
+TEST(EventQueueTest, CancelPendingEvent) {
+  EventQueue queue;
+  bool ran = false;
+  EventId id = queue.Push(1.0, [&] { ran = true; });
+  queue.Push(2.0, [] {});
+  EXPECT_TRUE(queue.Cancel(id));
+  EXPECT_EQ(queue.Size(), 1u);
+  EXPECT_DOUBLE_EQ(queue.NextTime(), 2.0);
+  queue.Pop().second();
+  EXPECT_FALSE(ran);
+  EXPECT_TRUE(queue.Empty());
+}
+
+TEST(EventQueueTest, CancelAfterRunFails) {
+  EventQueue queue;
+  EventId id = queue.Push(1.0, [] {});
+  queue.Push(2.0, [] {});
+  queue.Pop().second();
+  EXPECT_FALSE(queue.Cancel(id));
+  EXPECT_EQ(queue.Size(), 1u);  // Live count untouched.
+}
+
+TEST(EventQueueTest, DoubleCancelFails) {
+  EventQueue queue;
+  EventId id = queue.Push(1.0, [] {});
+  queue.Push(3.0, [] {});
+  EXPECT_TRUE(queue.Cancel(id));
+  EXPECT_FALSE(queue.Cancel(id));
+  EXPECT_EQ(queue.Size(), 1u);
+}
+
+TEST(EventQueueTest, CancelInvalidIdFails) {
+  EventQueue queue;
+  EXPECT_FALSE(queue.Cancel(kInvalidEventId));
+  EXPECT_FALSE(queue.Cancel(9999));
+}
+
+TEST(EventQueueTest, CancelLastEventEmptiesQueue) {
+  EventQueue queue;
+  EventId id = queue.Push(1.0, [] {});
+  EXPECT_TRUE(queue.Cancel(id));
+  EXPECT_TRUE(queue.Empty());
+}
+
+TEST(EventQueueTest, ClearDropsEverything) {
+  EventQueue queue;
+  queue.Push(1.0, [] {});
+  queue.Push(2.0, [] {});
+  queue.Clear();
+  EXPECT_TRUE(queue.Empty());
+  // Queue stays usable after Clear.
+  queue.Push(3.0, [] {});
+  EXPECT_EQ(queue.Size(), 1u);
+}
+
+TEST(EventQueueTest, ManyCancellationsInterleaved) {
+  EventQueue queue;
+  std::vector<EventId> ids;
+  std::vector<int> ran;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(queue.Push(static_cast<Time>(i), [&ran, i] {
+      ran.push_back(i);
+    }));
+  }
+  // Cancel every odd event.
+  for (int i = 1; i < 100; i += 2) EXPECT_TRUE(queue.Cancel(ids[i]));
+  EXPECT_EQ(queue.Size(), 50u);
+  while (!queue.Empty()) queue.Pop().second();
+  ASSERT_EQ(ran.size(), 50u);
+  for (size_t j = 0; j < ran.size(); ++j) EXPECT_EQ(ran[j] % 2, 0);
+}
+
+}  // namespace
+}  // namespace madnet::sim

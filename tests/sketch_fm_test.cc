@@ -1,0 +1,197 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+
+#include "sketch/fm_sketch.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace madnet::sketch {
+namespace {
+
+TEST(FmSketchTest, StartsEmpty) {
+  FmSketch sketch(32);
+  EXPECT_TRUE(sketch.Empty());
+  EXPECT_EQ(sketch.MinZeroBit(), 0);
+  EXPECT_EQ(sketch.bits(), 0u);
+  EXPECT_EQ(sketch.length_bits(), 32);
+}
+
+TEST(FmSketchTest, AddSetsGeometricBit) {
+  FmSketch sketch(32);
+  sketch.AddHash(0b1000);  // rho = 3.
+  EXPECT_TRUE(sketch.TestBit(3));
+  EXPECT_FALSE(sketch.TestBit(0));
+  EXPECT_EQ(sketch.MinZeroBit(), 0);
+  sketch.AddHash(0b0001);  // rho = 0.
+  EXPECT_EQ(sketch.MinZeroBit(), 1);
+}
+
+TEST(FmSketchTest, ZeroHashClampsToTopBit) {
+  FmSketch sketch(8);
+  sketch.AddHash(0);  // rho = 64 clamps to length-1.
+  EXPECT_TRUE(sketch.TestBit(7));
+}
+
+TEST(FmSketchTest, MinZeroBitFullSketch) {
+  FmSketch sketch(4);
+  for (uint64_t i = 0; i < 4; ++i) sketch.AddHash(uint64_t{1} << i);
+  EXPECT_EQ(sketch.MinZeroBit(), 4);
+}
+
+TEST(FmSketchTest, DuplicatesDoNotChangeSketch) {
+  FmSketch a(32);
+  FmSketch b(32);
+  for (int i = 0; i < 100; ++i) {
+    a.AddHash(0xDEADBEEF);
+    if (i == 0) b.AddHash(0xDEADBEEF);
+  }
+  EXPECT_EQ(a, b);
+}
+
+TEST(FmSketchTest, MergeEqualsUnion) {
+  Rng rng(3);
+  FmSketch a(32);
+  FmSketch b(32);
+  FmSketch both(32);
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t h = rng.NextUint64();
+    if (i % 2 == 0) {
+      a.AddHash(h);
+    } else {
+      b.AddHash(h);
+    }
+    both.AddHash(h);
+  }
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_EQ(a, both);
+}
+
+TEST(FmSketchTest, MergeLengthMismatchFails) {
+  FmSketch a(32);
+  FmSketch b(16);
+  EXPECT_FALSE(a.Merge(b).ok());
+}
+
+TEST(FmSketchTest, FromBitsRoundTrip) {
+  FmSketch a(16);
+  a.AddHash(0b100);
+  auto restored = FmSketch::FromBits(a.bits(), 16);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, a);
+}
+
+TEST(FmSketchTest, FromBitsValidates) {
+  EXPECT_FALSE(FmSketch::FromBits(0, 0).ok());
+  EXPECT_FALSE(FmSketch::FromBits(0, 65).ok());
+  EXPECT_FALSE(FmSketch::FromBits(uint64_t{1} << 20, 16).ok());
+  EXPECT_TRUE(FmSketch::FromBits(uint64_t{1} << 20, 32).ok());
+}
+
+TEST(FmSketchTest, ToStringRendersBits) {
+  FmSketch sketch(4);
+  sketch.AddHash(0b10);  // rho = 1.
+  EXPECT_EQ(sketch.ToString(), "0100");
+}
+
+TEST(FmSketchArrayTest, EmptyEstimatesZero) {
+  FmSketchArray array;
+  EXPECT_TRUE(array.Empty());
+  EXPECT_DOUBLE_EQ(array.Estimate(), 0.0);
+}
+
+TEST(FmSketchArrayTest, SizeBits) {
+  FmSketchArray::Options options;
+  options.num_sketches = 16;
+  options.length_bits = 32;
+  FmSketchArray array(options);
+  EXPECT_EQ(array.SizeBits(), 512);
+}
+
+TEST(FmSketchArrayTest, DuplicateUsersInsensitive) {
+  FmSketchArray a;
+  FmSketchArray b;
+  for (int rep = 0; rep < 50; ++rep) {
+    for (uint64_t user = 0; user < 20; ++user) a.AddUser(user);
+  }
+  for (uint64_t user = 0; user < 20; ++user) b.AddUser(user);
+  EXPECT_TRUE(a == b);
+  EXPECT_DOUBLE_EQ(a.Estimate(), b.Estimate());
+}
+
+TEST(FmSketchArrayTest, MergeEqualsUnionOfUsers) {
+  FmSketchArray a;
+  FmSketchArray b;
+  FmSketchArray both;
+  for (uint64_t user = 0; user < 100; ++user) {
+    if (user % 2 == 0) a.AddUser(user);
+    if (user % 3 == 0) b.AddUser(user);
+    if (user % 2 == 0 || user % 3 == 0) both.AddUser(user);
+  }
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_TRUE(a == both);
+}
+
+TEST(FmSketchArrayTest, MergeOptionMismatchFails) {
+  FmSketchArray::Options other_options;
+  other_options.num_sketches = 8;
+  FmSketchArray a;
+  FmSketchArray b(other_options);
+  EXPECT_FALSE(a.Merge(b).ok());
+}
+
+TEST(FmSketchArrayTest, EstimateGrowsWithPopulation) {
+  FmSketchArray array;
+  double previous = 0.0;
+  for (uint64_t user = 1; user <= 4096; ++user) {
+    array.AddUser(user * 0x9E3779B97F4A7C15ULL);
+    if ((user & (user - 1)) == 0) {  // Powers of two.
+      const double estimate = array.Estimate();
+      EXPECT_GE(estimate, previous);
+      previous = estimate;
+    }
+  }
+  EXPECT_GT(previous, 1000.0);
+}
+
+/// Accuracy sweep: the FM estimate should land within a reasonable relative
+/// error band of the true distinct count for a range of populations.
+class FmAccuracyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FmAccuracyTest, RelativeErrorWithinBand) {
+  const int n = GetParam();
+  FmSketchArray::Options options;
+  options.num_sketches = 16;
+  options.length_bits = 32;
+
+  // Average relative error over independent hash-family seeds.
+  double total_relative_error = 0.0;
+  const int trials = 8;
+  for (int trial = 0; trial < trials; ++trial) {
+    options.hash_seed = 0x1234 + static_cast<uint64_t>(trial) * 77;
+    FmSketchArray array(options);
+    for (int user = 0; user < n; ++user) {
+      array.AddUser(static_cast<uint64_t>(user) * 1000003ULL + trial);
+    }
+    total_relative_error += std::abs(array.Estimate() - n) / n;
+  }
+  // FM with F=16 has stderr around 0.78/sqrt(F) ~ 0.2; allow a generous
+  // band for the averaged error.
+  EXPECT_LT(total_relative_error / trials, 0.35) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Populations, FmAccuracyTest,
+                         ::testing::Values(16, 64, 256, 1024, 4096, 16384));
+
+TEST(FmSketchArrayTest, RecommendedLengthGrowsAndCaps) {
+  const int small = FmSketchArray::RecommendedLength(100, 16, 0.05);
+  const int large = FmSketchArray::RecommendedLength(1000000, 16, 0.05);
+  EXPECT_GT(large, small);
+  EXPECT_LE(FmSketchArray::RecommendedLength(UINT64_MAX, 1024, 0.0001), 64);
+  EXPECT_GE(small, 8);
+}
+
+}  // namespace
+}  // namespace madnet::sketch

@@ -1,0 +1,80 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+
+#include "sketch/hash.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace madnet::sketch {
+namespace {
+
+TEST(HashFunctionTest, Deterministic) {
+  HashFunction h(42);
+  EXPECT_EQ(h(uint64_t{123}), h(uint64_t{123}));
+  EXPECT_EQ(h("hello"), h("hello"));
+}
+
+TEST(HashFunctionTest, SeedsGiveDifferentFunctions) {
+  HashFunction a(1);
+  HashFunction b(2);
+  int equal = 0;
+  for (uint64_t key = 0; key < 1000; ++key) {
+    if (a(key) == b(key)) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(HashFunctionTest, AvalancheOnKeys) {
+  // Flipping one input bit flips roughly half the output bits.
+  HashFunction h(7);
+  double total_flips = 0.0;
+  int trials = 0;
+  for (uint64_t key = 1; key < 200; ++key) {
+    for (int bit = 0; bit < 64; bit += 7) {
+      const uint64_t diff = h(key) ^ h(key ^ (uint64_t{1} << bit));
+      total_flips += __builtin_popcountll(diff);
+      ++trials;
+    }
+  }
+  EXPECT_NEAR(total_flips / trials, 32.0, 3.0);
+}
+
+TEST(HashFunctionTest, BytesAndKeysConsistent) {
+  HashFunction h(9);
+  // Different byte strings map to different hashes (collision over a tiny
+  // set would indicate breakage).
+  std::set<uint64_t> hashes;
+  std::vector<std::string> inputs = {"", "a", "b", "ab", "ba", "petrol",
+                                     "grocery", "petrol "};
+  for (const auto& s : inputs) hashes.insert(h(s));
+  EXPECT_EQ(hashes.size(), inputs.size());
+}
+
+TEST(LowestSetBitTest, KnownValues) {
+  EXPECT_EQ(LowestSetBit(0), 64);
+  EXPECT_EQ(LowestSetBit(1), 0);
+  EXPECT_EQ(LowestSetBit(2), 1);
+  EXPECT_EQ(LowestSetBit(0b1010100), 2);
+  EXPECT_EQ(LowestSetBit(uint64_t{1} << 63), 63);
+}
+
+TEST(LowestSetBitTest, GeometricDistribution) {
+  // P[rho = i] = 2^-(i+1) over random hashes.
+  HashFunction h(11);
+  std::vector<int> counts(20, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    int rho = LowestSetBit(h(static_cast<uint64_t>(i)));
+    if (rho < 20) counts[rho]++;
+  }
+  for (int i = 0; i < 8; ++i) {
+    const double expected = n * std::pow(2.0, -(i + 1));
+    EXPECT_NEAR(counts[i], expected, expected * 0.1 + 50) << "rho=" << i;
+  }
+}
+
+}  // namespace
+}  // namespace madnet::sketch

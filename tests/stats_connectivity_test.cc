@@ -1,0 +1,89 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+
+#include "stats/connectivity.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace madnet::stats {
+namespace {
+
+TEST(ConnectivityTest, EmptyPlacement) {
+  auto snapshot = AnalyzeConnectivity({}, 100.0);
+  EXPECT_EQ(snapshot.nodes, 0u);
+  EXPECT_EQ(snapshot.edges, 0u);
+  EXPECT_EQ(snapshot.components, 0u);
+}
+
+TEST(ConnectivityTest, SingleNode) {
+  auto snapshot = AnalyzeConnectivity({{0.0, 0.0}}, 100.0);
+  EXPECT_EQ(snapshot.nodes, 1u);
+  EXPECT_EQ(snapshot.edges, 0u);
+  EXPECT_EQ(snapshot.components, 1u);
+  EXPECT_DOUBLE_EQ(snapshot.largest_component_fraction, 1.0);
+}
+
+TEST(ConnectivityTest, ChainIsOneComponent) {
+  // Nodes 100 m apart with range 100: a path graph.
+  std::vector<Vec2> chain;
+  for (int i = 0; i < 5; ++i) chain.push_back({i * 100.0, 0.0});
+  auto snapshot = AnalyzeConnectivity(chain, 100.0);
+  EXPECT_EQ(snapshot.nodes, 5u);
+  EXPECT_EQ(snapshot.edges, 4u);  // Only adjacent pairs in range.
+  EXPECT_EQ(snapshot.components, 1u);
+  EXPECT_DOUBLE_EQ(snapshot.largest_component_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(snapshot.average_degree, 8.0 / 5.0);
+}
+
+TEST(ConnectivityTest, TwoClusters) {
+  std::vector<Vec2> nodes = {{0.0, 0.0},    {50.0, 0.0},  {0.0, 50.0},
+                             {5000.0, 0.0}, {5050.0, 0.0}};
+  auto snapshot = AnalyzeConnectivity(nodes, 100.0);
+  EXPECT_EQ(snapshot.components, 2u);
+  EXPECT_DOUBLE_EQ(snapshot.largest_component_fraction, 3.0 / 5.0);
+}
+
+TEST(ConnectivityTest, FullyDisconnected) {
+  std::vector<Vec2> nodes;
+  for (int i = 0; i < 10; ++i) nodes.push_back({i * 1000.0, 0.0});
+  auto snapshot = AnalyzeConnectivity(nodes, 100.0);
+  EXPECT_EQ(snapshot.edges, 0u);
+  EXPECT_EQ(snapshot.components, 10u);
+  EXPECT_DOUBLE_EQ(snapshot.largest_component_fraction, 0.1);
+}
+
+TEST(ConnectivityTest, CliqueWhenAllInRange) {
+  std::vector<Vec2> nodes;
+  for (int i = 0; i < 6; ++i) nodes.push_back({i * 10.0, 0.0});
+  auto snapshot = AnalyzeConnectivity(nodes, 100.0);
+  EXPECT_EQ(snapshot.edges, 15u);  // C(6,2).
+  EXPECT_EQ(snapshot.components, 1u);
+  EXPECT_DOUBLE_EQ(snapshot.average_degree, 5.0);
+}
+
+TEST(ConnectivityTest, RangeBoundaryInclusive) {
+  auto snapshot =
+      AnalyzeConnectivity({{0.0, 0.0}, {100.0, 0.0}}, 100.0);
+  EXPECT_EQ(snapshot.edges, 1u);
+}
+
+TEST(ConnectivityTest, DegreeMatchesDensityTheory) {
+  // Poisson placement: E[degree] ~ rho * pi * r^2.
+  Rng rng(42);
+  const double side = 5000.0;
+  const double range = 250.0;
+  const int n = 800;
+  std::vector<Vec2> nodes;
+  for (int i = 0; i < n; ++i) {
+    nodes.push_back({rng.Uniform(0.0, side), rng.Uniform(0.0, side)});
+  }
+  auto snapshot = AnalyzeConnectivity(nodes, range);
+  const double expected =
+      n / (side * side) * 3.14159265358979 * range * range;
+  // Border effects lower the measured mean slightly; generous band.
+  EXPECT_NEAR(snapshot.average_degree, expected, expected * 0.2);
+}
+
+}  // namespace
+}  // namespace madnet::stats

@@ -1,0 +1,62 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+
+#include "stats/timeseries.h"
+
+#include <gtest/gtest.h>
+
+namespace madnet::stats {
+namespace {
+
+TEST(TimeSeriesTest, StartsEmpty) {
+  TimeSeries series("x");
+  EXPECT_TRUE(series.Empty());
+  EXPECT_EQ(series.Size(), 0u);
+  EXPECT_EQ(series.label(), "x");
+  EXPECT_DOUBLE_EQ(series.ValueAt(10.0), 0.0);
+  EXPECT_DOUBLE_EQ(series.MeanOver(0.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(series.MaxValue(), 0.0);
+}
+
+TEST(TimeSeriesTest, AppendsInOrder) {
+  TimeSeries series;
+  EXPECT_TRUE(series.Add(1.0, 10.0).ok());
+  EXPECT_TRUE(series.Add(1.0, 11.0).ok());  // Equal times allowed.
+  EXPECT_TRUE(series.Add(2.0, 12.0).ok());
+  EXPECT_FALSE(series.Add(1.5, 0.0).ok());  // Backwards rejected.
+  EXPECT_EQ(series.Size(), 3u);
+  EXPECT_DOUBLE_EQ(series.At(2).value, 12.0);
+}
+
+TEST(TimeSeriesTest, StepInterpolation) {
+  TimeSeries series;
+  (void)series.Add(10.0, 1.0);
+  (void)series.Add(20.0, 2.0);
+  (void)series.Add(30.0, 3.0);
+  EXPECT_DOUBLE_EQ(series.ValueAt(5.0), 0.0);    // Before first sample.
+  EXPECT_DOUBLE_EQ(series.ValueAt(10.0), 1.0);   // Exact hit.
+  EXPECT_DOUBLE_EQ(series.ValueAt(15.0), 1.0);   // Holds last value.
+  EXPECT_DOUBLE_EQ(series.ValueAt(29.99), 2.0);
+  EXPECT_DOUBLE_EQ(series.ValueAt(100.0), 3.0);  // After last sample.
+}
+
+TEST(TimeSeriesTest, WindowedMean) {
+  TimeSeries series;
+  for (int i = 0; i <= 10; ++i) {
+    (void)series.Add(i, static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(series.MeanOver(0.0, 10.0), 5.0);
+  EXPECT_DOUBLE_EQ(series.MeanOver(2.0, 4.0), 3.0);
+  EXPECT_DOUBLE_EQ(series.MeanOver(4.5, 4.9), 0.0);  // No samples inside.
+  EXPECT_DOUBLE_EQ(series.MeanOver(9.0, 100.0), 9.5);
+}
+
+TEST(TimeSeriesTest, MaxValue) {
+  TimeSeries series;
+  (void)series.Add(0.0, -5.0);
+  (void)series.Add(1.0, 7.0);
+  (void)series.Add(2.0, 3.0);
+  EXPECT_DOUBLE_EQ(series.MaxValue(), 7.0);
+}
+
+}  // namespace
+}  // namespace madnet::stats

@@ -1,0 +1,237 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+
+#include "util/geometry.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace madnet {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(Vec2Test, Arithmetic) {
+  Vec2 a{1.0, 2.0};
+  Vec2 b{3.0, -4.0};
+  EXPECT_EQ(a + b, (Vec2{4.0, -2.0}));
+  EXPECT_EQ(a - b, (Vec2{-2.0, 6.0}));
+  EXPECT_EQ(a * 2.0, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(a / 2.0, (Vec2{0.5, 1.0}));
+  EXPECT_DOUBLE_EQ(a.Dot(b), 3.0 - 8.0);
+}
+
+TEST(Vec2Test, NormAndNormalize) {
+  Vec2 v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.NormSquared(), 25.0);
+  Vec2 unit = v.Normalized();
+  EXPECT_NEAR(unit.Norm(), 1.0, 1e-12);
+  EXPECT_NEAR(unit.x, 0.6, 1e-12);
+  EXPECT_EQ((Vec2{0.0, 0.0}).Normalized(), (Vec2{0.0, 0.0}));
+}
+
+TEST(Vec2Test, DistanceHelpers) {
+  EXPECT_DOUBLE_EQ(Distance({0.0, 0.0}, {3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(DistanceSquared({1.0, 1.0}, {4.0, 5.0}), 25.0);
+}
+
+TEST(RectTest, ContainsAndClamp) {
+  Rect r{{0.0, 0.0}, {10.0, 5.0}};
+  EXPECT_DOUBLE_EQ(r.Width(), 10.0);
+  EXPECT_DOUBLE_EQ(r.Height(), 5.0);
+  EXPECT_DOUBLE_EQ(r.Area(), 50.0);
+  EXPECT_EQ(r.Center(), (Vec2{5.0, 2.5}));
+  EXPECT_TRUE(r.Contains({0.0, 0.0}));
+  EXPECT_TRUE(r.Contains({10.0, 5.0}));
+  EXPECT_FALSE(r.Contains({10.1, 2.0}));
+  EXPECT_EQ(r.Clamp({-1.0, 7.0}), (Vec2{0.0, 5.0}));
+  EXPECT_EQ(r.Clamp({4.0, 2.0}), (Vec2{4.0, 2.0}));
+}
+
+TEST(CircleTest, Contains) {
+  Circle c{{1.0, 1.0}, 2.0};
+  EXPECT_TRUE(c.Contains({1.0, 1.0}));
+  EXPECT_TRUE(c.Contains({3.0, 1.0}));  // Boundary counts as inside.
+  EXPECT_FALSE(c.Contains({3.1, 1.0}));
+}
+
+TEST(CircleOverlapTest, DisjointAndContainment) {
+  EXPECT_DOUBLE_EQ(CircleOverlapArea(1.0, 1.0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(CircleOverlapArea(1.0, 1.0, 5.0), 0.0);
+  // Small circle fully inside the big one.
+  EXPECT_NEAR(CircleOverlapArea(1.0, 3.0, 1.0), kPi, 1e-12);
+  EXPECT_NEAR(CircleOverlapArea(3.0, 1.0, 0.0), kPi, 1e-12);
+}
+
+TEST(CircleOverlapTest, KnownEqualRadiusValue) {
+  // Two unit circles at distance r: lens area = 2 pi/3 - sqrt(3)/2.
+  const double expected = 2.0 * kPi / 3.0 - std::sqrt(3.0) / 2.0;
+  EXPECT_NEAR(CircleOverlapArea(1.0, 1.0, 1.0), expected, 1e-12);
+}
+
+TEST(CircleOverlapTest, MonteCarloAgreement) {
+  // Property: the closed form matches Monte-Carlo integration for random
+  // radius/distance configurations.
+  Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    const double r1 = rng.Uniform(0.5, 3.0);
+    const double r2 = rng.Uniform(0.5, 3.0);
+    const double d = rng.Uniform(0.0, r1 + r2 + 1.0);
+    const double exact = CircleOverlapArea(r1, r2, d);
+
+    // Sample in the bounding box of circle 1.
+    const int samples = 200000;
+    int hits = 0;
+    for (int i = 0; i < samples; ++i) {
+      Vec2 p{rng.Uniform(-r1, r1), rng.Uniform(-r1, r1)};
+      if (p.NormSquared() <= r1 * r1 &&
+          DistanceSquared(p, {d, 0.0}) <= r2 * r2) {
+        ++hits;
+      }
+    }
+    const double estimate =
+        4.0 * r1 * r1 * static_cast<double>(hits) / samples;
+    EXPECT_NEAR(estimate, exact, 0.05 * (exact + 0.5))
+        << "r1=" << r1 << " r2=" << r2 << " d=" << d;
+  }
+}
+
+TEST(TransmissionOverlapTest, Bounds) {
+  const double r = 250.0;
+  EXPECT_NEAR(TransmissionOverlapFraction(r, 0.0), 1.0, 1e-12);
+  // The paper's lower bound at d = r: 2/3 - sqrt(3)/(2 pi) ~= 0.3910.
+  const double at_range = TransmissionOverlapFraction(r, r);
+  EXPECT_NEAR(at_range, 2.0 / 3.0 - std::sqrt(3.0) / (2.0 * kPi), 1e-12);
+  EXPECT_DOUBLE_EQ(TransmissionOverlapFraction(r, 2.0 * r), 0.0);
+  // Monotone decreasing in distance.
+  double previous = 1.1;
+  for (double d = 0.0; d <= 2.0 * r; d += 10.0) {
+    const double p = TransmissionOverlapFraction(r, d);
+    EXPECT_LE(p, previous);
+    previous = p;
+  }
+}
+
+TEST(SegmentCircleTest, StraightPassThrough) {
+  // Moving along the x axis through a unit circle at the origin.
+  auto crossing =
+      SegmentCircleCrossing({-2.0, 0.0}, {2.0, 0.0}, 0.0, 4.0,
+                            Circle{{0.0, 0.0}, 1.0});
+  ASSERT_TRUE(crossing.has_value());
+  EXPECT_NEAR(crossing->enter, 1.0, 1e-12);
+  EXPECT_NEAR(crossing->exit, 3.0, 1e-12);
+}
+
+TEST(SegmentCircleTest, Miss) {
+  EXPECT_FALSE(SegmentCircleCrossing({-2.0, 2.0}, {2.0, 2.0}, 0.0, 4.0,
+                                     Circle{{0.0, 0.0}, 1.0})
+                   .has_value());
+}
+
+TEST(SegmentCircleTest, Tangent) {
+  auto crossing =
+      SegmentCircleCrossing({-2.0, 1.0}, {2.0, 1.0}, 0.0, 4.0,
+                            Circle{{0.0, 0.0}, 1.0});
+  ASSERT_TRUE(crossing.has_value());
+  EXPECT_NEAR(crossing->enter, 2.0, 1e-6);
+  EXPECT_NEAR(crossing->exit, 2.0, 1e-6);
+}
+
+TEST(SegmentCircleTest, StartsInside) {
+  auto crossing = SegmentCircleCrossing({0.0, 0.0}, {5.0, 0.0}, 10.0, 15.0,
+                                        Circle{{0.0, 0.0}, 1.0});
+  ASSERT_TRUE(crossing.has_value());
+  EXPECT_DOUBLE_EQ(crossing->enter, 10.0);
+  EXPECT_NEAR(crossing->exit, 11.0, 1e-12);
+}
+
+TEST(SegmentCircleTest, EndsInside) {
+  auto crossing = SegmentCircleCrossing({-5.0, 0.0}, {0.0, 0.0}, 0.0, 5.0,
+                                        Circle{{0.0, 0.0}, 1.0});
+  ASSERT_TRUE(crossing.has_value());
+  EXPECT_NEAR(crossing->enter, 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(crossing->exit, 5.0);
+}
+
+TEST(SegmentCircleTest, StationaryInsideAndOutside) {
+  auto inside = SegmentCircleCrossing({0.5, 0.0}, {0.5, 0.0}, 3.0, 7.0,
+                                      Circle{{0.0, 0.0}, 1.0});
+  ASSERT_TRUE(inside.has_value());
+  EXPECT_DOUBLE_EQ(inside->enter, 3.0);
+  EXPECT_DOUBLE_EQ(inside->exit, 7.0);
+  EXPECT_FALSE(SegmentCircleCrossing({5.0, 0.0}, {5.0, 0.0}, 3.0, 7.0,
+                                     Circle{{0.0, 0.0}, 1.0})
+                   .has_value());
+}
+
+TEST(SegmentCircleTest, CircleBehindSegment) {
+  // The infinite line crosses the circle, but only before the leg starts.
+  EXPECT_FALSE(SegmentCircleCrossing({2.0, 0.0}, {5.0, 0.0}, 0.0, 3.0,
+                                     Circle{{0.0, 0.0}, 1.0})
+                   .has_value());
+}
+
+TEST(SegmentCircleTest, RandomizedAgainstSampling) {
+  // Property: for random legs and circles, the analytic interval agrees
+  // with dense time sampling to within the sampling resolution.
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Vec2 from{rng.Uniform(-10.0, 10.0), rng.Uniform(-10.0, 10.0)};
+    const Vec2 to{rng.Uniform(-10.0, 10.0), rng.Uniform(-10.0, 10.0)};
+    const double t0 = rng.Uniform(0.0, 5.0);
+    const double t1 = t0 + rng.Uniform(0.1, 5.0);
+    const Circle circle{{rng.Uniform(-10.0, 10.0), rng.Uniform(-10.0, 10.0)},
+                        rng.Uniform(0.5, 5.0)};
+    auto crossing = SegmentCircleCrossing(from, to, t0, t1, circle);
+
+    const int steps = 2000;
+    double first_inside = -1.0;
+    double last_inside = -1.0;
+    for (int i = 0; i <= steps; ++i) {
+      const double t = t0 + (t1 - t0) * i / steps;
+      const double s = (t - t0) / (t1 - t0);
+      const Vec2 p = from + (to - from) * s;
+      if (circle.Contains(p)) {
+        if (first_inside < 0.0) first_inside = t;
+        last_inside = t;
+      }
+    }
+    const double dt = (t1 - t0) / steps;
+    if (first_inside < 0.0) {
+      // Sampling found nothing; analytic may have found a sliver shorter
+      // than the step.
+      if (crossing.has_value()) {
+        EXPECT_LT(crossing->exit - crossing->enter, 2.0 * dt);
+      }
+    } else {
+      ASSERT_TRUE(crossing.has_value());
+      EXPECT_NEAR(crossing->enter, first_inside, 2.0 * dt);
+      EXPECT_NEAR(crossing->exit, last_inside, 2.0 * dt);
+    }
+  }
+}
+
+TEST(ApproachAngleTest, CardinalCases) {
+  // Moving east towards a target due east: angle 0.
+  EXPECT_NEAR(ApproachAngle({1.0, 0.0}, {0.0, 0.0}, {5.0, 0.0}), 0.0, 1e-12);
+  // Target due north while moving east: pi/2.
+  EXPECT_NEAR(ApproachAngle({1.0, 0.0}, {0.0, 0.0}, {0.0, 5.0}), kPi / 2.0,
+              1e-12);
+  // Target due west while moving east: pi.
+  EXPECT_NEAR(ApproachAngle({1.0, 0.0}, {0.0, 0.0}, {-5.0, 0.0}), kPi, 1e-12);
+}
+
+TEST(ApproachAngleTest, DegenerateInputs) {
+  // Zero velocity or coincident points: pi/2 by convention.
+  EXPECT_DOUBLE_EQ(ApproachAngle({0.0, 0.0}, {0.0, 0.0}, {5.0, 0.0}),
+                   kPi / 2.0);
+  EXPECT_DOUBLE_EQ(ApproachAngle({1.0, 0.0}, {2.0, 2.0}, {2.0, 2.0}),
+                   kPi / 2.0);
+}
+
+}  // namespace
+}  // namespace madnet

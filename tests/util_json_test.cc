@@ -1,0 +1,103 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+
+#include "util/json.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace madnet {
+namespace {
+
+TEST(JsonWriterTest, FlatObject) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("rate");
+  json.Value(98.5);
+  json.Key("messages");
+  json.Value(uint64_t{1814});
+  json.Key("method");
+  json.Value("optimized");
+  json.Key("ok");
+  json.Value(true);
+  json.EndObject();
+  EXPECT_EQ(json.TakeString(),
+            "{\"rate\":98.5,\"messages\":1814,"
+            "\"method\":\"optimized\",\"ok\":true}");
+}
+
+TEST(JsonWriterTest, NestedStructures) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("series");
+  json.BeginArray();
+  json.Value(1);
+  json.Value(2);
+  json.BeginObject();
+  json.Key("x");
+  json.Value(3);
+  json.EndObject();
+  json.EndArray();
+  json.Key("inner");
+  json.BeginObject();
+  json.EndObject();
+  json.EndObject();
+  EXPECT_EQ(json.TakeString(),
+            "{\"series\":[1,2,{\"x\":3}],\"inner\":{}}");
+}
+
+TEST(JsonWriterTest, EmptyContainers) {
+  JsonWriter json;
+  json.BeginArray();
+  json.EndArray();
+  EXPECT_EQ(json.TakeString(), "[]");
+  json.BeginObject();
+  json.EndObject();
+  EXPECT_EQ(json.TakeString(), "{}");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  JsonWriter json;
+  json.BeginArray();
+  json.Value("quote\" slash\\ newline\n tab\t");
+  json.Value(std::string("ctrl\x01"));
+  json.EndArray();
+  EXPECT_EQ(json.TakeString(),
+            "[\"quote\\\" slash\\\\ newline\\n tab\\t\",\"ctrl\\u0001\"]");
+}
+
+TEST(JsonWriterTest, NonFiniteNumbersBecomeNull) {
+  JsonWriter json;
+  json.BeginArray();
+  json.Value(std::numeric_limits<double>::infinity());
+  json.Value(std::nan(""));
+  json.Value(1.5);
+  json.Null();
+  json.EndArray();
+  EXPECT_EQ(json.TakeString(), "[null,null,1.5,null]");
+}
+
+TEST(JsonWriterTest, NegativeAndLargeIntegers) {
+  JsonWriter json;
+  json.BeginArray();
+  json.Value(int64_t{-42});
+  json.Value(uint64_t{18446744073709551615ULL});
+  json.EndArray();
+  EXPECT_EQ(json.TakeString(), "[-42,18446744073709551615]");
+}
+
+TEST(JsonWriterTest, WriterReusableAfterTake) {
+  JsonWriter json;
+  json.BeginArray();
+  json.EndArray();
+  EXPECT_EQ(json.TakeString(), "[]");
+  json.BeginObject();
+  json.Key("a");
+  json.Value(1);
+  json.EndObject();
+  EXPECT_EQ(json.TakeString(), "{\"a\":1}");
+}
+
+}  // namespace
+}  // namespace madnet

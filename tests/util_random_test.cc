@@ -1,0 +1,160 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+
+#include "util/random.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace madnet {
+namespace {
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  uint64_t s1 = 123;
+  uint64_t s2 = 123;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(SplitMix64(&s1), SplitMix64(&s2));
+  }
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(Mix64Test, IsPureFunction) {
+  EXPECT_EQ(Mix64(0), Mix64(0));
+  EXPECT_EQ(Mix64(42), Mix64(42));
+  EXPECT_NE(Mix64(42), Mix64(43));
+}
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.Uniform(-3.0, 7.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 7.0);
+  }
+}
+
+TEST(RngTest, BoundedIntegerUniformity) {
+  Rng rng(7);
+  const uint64_t bound = 10;
+  std::vector<int> counts(bound, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[rng.NextUint64(bound)]++;
+  // Loose chi-square style check: each bucket within 5% of the mean.
+  for (uint64_t b = 0; b < bound; ++b) {
+    EXPECT_NEAR(counts[b], n / static_cast<int>(bound), n / 20)
+        << "bucket " << b;
+  }
+}
+
+TEST(RngTest, BernoulliEdgesAndRate) {
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(9);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Exponential(4.0);
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 4.0, 0.05);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(10);
+  double sum = 0.0;
+  double ss = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal(2.0, 3.0);
+    sum += v;
+    ss += v * v;
+  }
+  const double mean = sum / n;
+  const double variance = ss / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(std::sqrt(variance), 3.0, 0.05);
+}
+
+TEST(RngTest, UniformInRect) {
+  Rng rng(11);
+  Rect rect{{10.0, -5.0}, {20.0, 5.0}};
+  double sx = 0.0;
+  double sy = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const Vec2 p = rng.UniformInRect(rect);
+    EXPECT_TRUE(rect.Contains(p));
+    sx += p.x;
+    sy += p.y;
+  }
+  EXPECT_NEAR(sx / n, 15.0, 0.1);
+  EXPECT_NEAR(sy / n, 0.0, 0.1);
+}
+
+TEST(RngTest, ForkIsDeterministicAndDecorrelated) {
+  Rng parent1(77);
+  Rng parent2(77);
+  Rng childA1 = parent1.Fork(1);
+  Rng childA2 = parent2.Fork(1);
+  Rng childB = parent1.Fork(2);
+  // Same parent state + same label => identical child.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(childA1.NextUint64(), childA2.NextUint64());
+  }
+  // Different labels => different streams.
+  Rng childA3 = parent2.Fork(1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (childA3.NextUint64() == childB.NextUint64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RngTest, ForkDoesNotPerturbParent) {
+  Rng a(123);
+  Rng b(123);
+  (void)a.Fork(55);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+}  // namespace
+}  // namespace madnet

@@ -1,0 +1,125 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+
+#include <gtest/gtest.h>
+
+#include "util/flags.h"
+#include "util/string_util.h"
+
+namespace madnet {
+namespace {
+
+TEST(SplitTest, BasicAndEdgeCases) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split(",a,", ','), (std::vector<std::string>{"", "a", ""}));
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(JoinTest, RoundTripsSplit) {
+  const std::vector<std::string> parts = {"x", "", "yz"};
+  EXPECT_EQ(Join(parts, ","), "x,,yz");
+  EXPECT_EQ(Split(Join(parts, ","), ','), parts);
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, "--"), "solo");
+}
+
+TEST(TrimTest, StripsWhitespace) {
+  EXPECT_EQ(Trim("  hello \t\n"), "hello");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("a b"), "a b");
+  EXPECT_EQ(Trim("\r\nx"), "x");
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("--flag", "--"));
+  EXPECT_FALSE(StartsWith("-f", "--"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_FALSE(StartsWith("", "a"));
+}
+
+TEST(ParseDoubleTest, ValidAndInvalid) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("3.25"), 3.25);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-1e3"), -1000.0);
+  EXPECT_DOUBLE_EQ(*ParseDouble("0"), 0.0);
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("12abc").ok());
+  EXPECT_FALSE(ParseDouble("abc").ok());
+}
+
+TEST(ParseIntTest, ValidAndInvalid) {
+  EXPECT_EQ(*ParseInt("42"), 42);
+  EXPECT_EQ(*ParseInt("-7"), -7);
+  EXPECT_FALSE(ParseInt("").ok());
+  EXPECT_FALSE(ParseInt("3.5").ok());
+  EXPECT_FALSE(ParseInt("99999999999999999999999").ok());
+}
+
+TEST(ParseBoolTest, Forms) {
+  EXPECT_TRUE(*ParseBool("true"));
+  EXPECT_TRUE(*ParseBool("1"));
+  EXPECT_TRUE(*ParseBool("yes"));
+  EXPECT_TRUE(*ParseBool("on"));
+  EXPECT_FALSE(*ParseBool("false"));
+  EXPECT_FALSE(*ParseBool("0"));
+  EXPECT_FALSE(*ParseBool("no"));
+  EXPECT_FALSE(*ParseBool("off"));
+  EXPECT_FALSE(ParseBool("TRUE").ok());
+  EXPECT_FALSE(ParseBool("2").ok());
+}
+
+TEST(FlagSetTest, ParsesTypedFlags) {
+  FlagSet flags;
+  flags.Define("peers", "300", "number of peers");
+  flags.Define("radius", "1000.0", "advertising radius");
+  flags.Define("verbose", "false", "chatty output");
+  flags.Define("method", "optimized", "protocol");
+
+  const char* argv[] = {"prog", "--peers=500", "--verbose",
+                        "--method=gossip", "input.txt"};
+  ASSERT_TRUE(flags.Parse(5, argv).ok());
+
+  EXPECT_EQ(*flags.GetInt("peers"), 500);
+  EXPECT_DOUBLE_EQ(*flags.GetDouble("radius"), 1000.0);  // Default.
+  EXPECT_TRUE(*flags.GetBool("verbose"));                // Shorthand.
+  EXPECT_EQ(flags.GetString("method"), "gossip");
+  EXPECT_TRUE(flags.IsSet("peers"));
+  EXPECT_FALSE(flags.IsSet("radius"));
+  EXPECT_EQ(flags.positional(), (std::vector<std::string>{"input.txt"}));
+}
+
+TEST(FlagSetTest, UnknownFlagRejected) {
+  FlagSet flags;
+  flags.Define("peers", "300", "");
+  const char* argv[] = {"prog", "--perrs=500"};
+  EXPECT_FALSE(flags.Parse(2, argv).ok());
+}
+
+TEST(FlagSetTest, MalformedValueSurfacesOnRead) {
+  FlagSet flags;
+  flags.Define("peers", "300", "");
+  const char* argv[] = {"prog", "--peers=many"};
+  ASSERT_TRUE(flags.Parse(2, argv).ok());
+  EXPECT_FALSE(flags.GetInt("peers").ok());
+}
+
+TEST(FlagSetTest, UsageListsFlags) {
+  FlagSet flags;
+  flags.Define("peers", "300", "number of peers");
+  const std::string usage = flags.Usage("prog");
+  EXPECT_NE(usage.find("--peers"), std::string::npos);
+  EXPECT_NE(usage.find("300"), std::string::npos);
+  EXPECT_NE(usage.find("number of peers"), std::string::npos);
+}
+
+TEST(FlagSetTest, LastValueWins) {
+  FlagSet flags;
+  flags.Define("n", "1", "");
+  const char* argv[] = {"prog", "--n=2", "--n=3"};
+  ASSERT_TRUE(flags.Parse(3, argv).ok());
+  EXPECT_EQ(*flags.GetInt("n"), 3);
+}
+
+}  // namespace
+}  // namespace madnet

@@ -1,0 +1,71 @@
+# Plots the paper's main figures from the CSVs the bench binaries emit.
+#
+#   cd build && MADNET_BENCH_CSV=csv ./bench/fig07_network_size \
+#            && MADNET_BENCH_CSV=csv ./bench/fig09_reduction \
+#            && MADNET_BENCH_CSV=csv ./bench/fig10_tuning
+#   gnuplot -e "csvdir='build/csv'" tools/plot_figures.gnuplot
+#
+# Produces fig07a/b/c, fig09, fig10a/b/c as PNGs in the working directory.
+
+if (!exists("csvdir")) csvdir = "."
+
+set datafile separator ","
+set terminal pngcairo size 900,600 font ",11"
+set key outside right
+set grid
+
+methods = "Flooding Gossiping 'Optimized Gossiping-1' 'Optimized Gossiping-2' 'Optimized Gossiping'"
+
+# --- Figure 7: metric vs network size, one series per method -------------
+f7 = csvdir . "/fig07_network_size.csv"
+
+set output "fig07a_delivery_rate.png"
+set title "Figure 7(a) — Delivery Rate vs network size"
+set xlabel "peers"
+set ylabel "delivery rate (%)"
+plot for [m in methods] f7 using 2:($1 eq m ? $3 : 1/0) with linespoints title m
+
+set output "fig07b_delivery_time.png"
+set title "Figure 7(b) — Delivery Time vs network size"
+set ylabel "delivery time (s)"
+plot for [m in methods] f7 using 2:($1 eq m ? $4 : 1/0) with linespoints title m
+
+set output "fig07c_messages.png"
+set title "Figure 7(c) — Number of Messages vs network size"
+set ylabel "messages"
+plot for [m in methods] f7 using 2:($1 eq m ? $5 : 1/0) with linespoints title m
+
+# --- Figure 9: % messages reduced from pure gossiping --------------------
+set output "fig09_reduction.png"
+set title "Figure 9 — % of messages reduced from pure Gossiping"
+set xlabel "peers"
+set ylabel "reduction (%)"
+set yrange [0:100]
+plot csvdir."/fig09_reduction.csv" using 1:2 with linespoints title "Optimized Gossiping-1", \
+     ""                            using 1:3 with linespoints title "Optimized Gossiping-2", \
+     ""                            using 1:4 with linespoints title "Optimized Gossiping"
+unset yrange
+
+# --- Figure 10: tuning sweeps (two y axes) -------------------------------
+set ytics nomirror
+set y2tics
+
+set output "fig10a_alpha.png"
+set title "Figure 10(a) — tuning alpha"
+set xlabel "alpha"
+set ylabel "delivery rate (%)"
+set y2label "messages"
+plot csvdir."/fig10_alpha.csv" using 1:2 with linespoints axes x1y1 title "delivery rate", \
+     ""                        using 1:4 with linespoints axes x1y2 title "messages"
+
+set output "fig10b_round.png"
+set title "Figure 10(b) — tuning the gossiping round time"
+set xlabel "round time (s)"
+plot csvdir."/fig10_round.csv" using 1:2 with linespoints axes x1y1 title "delivery rate", \
+     ""                        using 1:4 with linespoints axes x1y2 title "messages"
+
+set output "fig10c_dis.png"
+set title "Figure 10(c) — tuning DIS"
+set xlabel "DIS (m)"
+plot csvdir."/fig10_dis.csv" using 1:2 with linespoints axes x1y1 title "delivery rate", \
+     ""                      using 1:4 with linespoints axes x1y2 title "messages"
