@@ -37,7 +37,7 @@ void Report(const bench::BenchEnv& env, const std::string& name,
                             {"variant", "delivery_rate_pct",
                              "delivery_time_s", "messages"});
   for (const auto& [label, config] : runs) {
-    Aggregate a = RunReplicated(config, env.reps);
+    Aggregate a = RunReplicated(config, env.reps, env.jobs);
     table.Row(label, Table::Num(a.DeliveryRate(), 2),
               Table::Num(a.DeliveryTime(), 2), Table::Num(a.Messages(), 0));
     if (csv) csv->Row(label, a.DeliveryRate(), a.DeliveryTime(),

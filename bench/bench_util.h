@@ -1,34 +1,44 @@
 // Copyright (c) 2026 madnet authors. All rights reserved.
 //
 // Shared plumbing for the figure-reproduction binaries: replication control,
-// headers that restate the paper's expectation next to our measurement, and
-// CSV output so the series can be re-plotted outside the binary.
+// headers that restate the paper's expectation next to our measurement, CSV
+// output so the series can be re-plotted outside the binary, and the
+// parallel sweep engine that fans grid points out over a thread pool.
 //
 // Environment knobs:
 //   MADNET_BENCH_REPS  — replications per data point (default 3).
 //   MADNET_BENCH_FAST  — if set (non-empty), shrink sweeps for quick runs.
 //   MADNET_BENCH_CSV   — directory for CSV output (default "."; set to an
 //                        empty string to disable CSV files).
+//   MADNET_JOBS        — worker threads for sweeps (default 1; 0 or "auto"
+//                        means one per hardware thread). The --jobs=N
+//                        command-line flag overrides it.
 
 #ifndef MADNET_BENCH_BENCH_UTIL_H_
 #define MADNET_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "exec/parallel_for.h"
 #include "util/csv.h"
 #include "util/table.h"
 
 namespace madnet::bench {
 
-/// Replication / scaling knobs read from the environment.
+/// Replication / scaling knobs read from the environment (and optionally
+/// the command line).
 struct BenchEnv {
   int reps = 3;
   bool fast = false;
   std::string csv_dir = ".";
+  /// Sweep concurrency, already resolved: >= 1. Grid points (or
+  /// replications) are distributed over this many workers.
+  int jobs = 1;
 
   static BenchEnv FromEnvironment() {
     BenchEnv env;
@@ -41,9 +51,53 @@ struct BenchEnv {
     if (const char* dir = std::getenv("MADNET_BENCH_CSV")) {
       env.csv_dir = dir;
     }
+    if (const char* jobs = std::getenv("MADNET_JOBS")) {
+      env.jobs = ParseJobs(jobs);
+    }
     return env;
   }
+
+  /// FromEnvironment() plus command-line overrides: --jobs=N / --jobs N
+  /// (N = 0 or "auto" → hardware concurrency), --fast, --reps=N.
+  static BenchEnv FromEnvironment(int argc, char** argv) {
+    BenchEnv env = FromEnvironment();
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--jobs=", 7) == 0) {
+        env.jobs = ParseJobs(arg + 7);
+      } else if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
+        env.jobs = ParseJobs(argv[++i]);
+      } else if (std::strncmp(arg, "--reps=", 7) == 0) {
+        env.reps = std::max(1, std::atoi(arg + 7));
+      } else if (std::strcmp(arg, "--fast") == 0) {
+        env.fast = true;
+      }
+    }
+    return env;
+  }
+
+ private:
+  static int ParseJobs(const char* text) {
+    if (std::strcmp(text, "auto") == 0) return exec::ResolveJobs(0);
+    char* end = nullptr;
+    const long value = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || value < 0) {
+      std::fprintf(stderr, "error: --jobs wants a count or \"auto\", got \"%s\"\n",
+                   text);
+      std::exit(2);
+    }
+    return exec::ResolveJobs(static_cast<int>(value));
+  }
 };
+
+/// Runs fn(i) for every grid point i in [0, n), fanned out over env.jobs
+/// workers (inline when env.jobs == 1). fn must write its result into an
+/// index-addressed slot and leave printing/CSV to a serial pass afterwards;
+/// with that discipline the output is identical at any job count.
+template <typename Fn>
+void ParallelSweep(const BenchEnv& env, size_t n, Fn&& fn) {
+  exec::ParallelFor(env.jobs, n, fn);
+}
 
 /// Prints the figure banner: what the paper reports, what we regenerate.
 inline void PrintHeader(const std::string& figure, const std::string& paper) {
@@ -54,19 +108,31 @@ inline void PrintHeader(const std::string& figure, const std::string& paper) {
 }
 
 /// Opens a CSV file in the configured directory; returns nullptr when CSV
-/// output is disabled.
+/// output is disabled. A file that cannot be opened aborts the benchmark
+/// with a non-zero exit instead of silently dropping the series.
 inline std::unique_ptr<CsvWriter> OpenCsv(
     const BenchEnv& env, const std::string& name,
     const std::vector<std::string>& header) {
   if (env.csv_dir.empty()) return nullptr;
-  auto writer =
-      std::make_unique<CsvWriter>(env.csv_dir + "/" + name, header);
+  const std::string path = env.csv_dir + "/" + name;
+  auto writer = std::make_unique<CsvWriter>(path, header);
   if (!writer->Ok()) {
-    std::fprintf(stderr, "warning: cannot write %s/%s\n",
-                 env.csv_dir.c_str(), name.c_str());
-    return nullptr;
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    std::exit(EXIT_FAILURE);
   }
   return writer;
+}
+
+/// Closes a CSV writer and aborts with a non-zero exit if any write (or
+/// the close itself) failed — a benchmark whose data file is truncated
+/// must not look successful. nullptr (CSV disabled) is a no-op.
+inline void CloseCsv(std::unique_ptr<CsvWriter> writer) {
+  if (!writer) return;
+  const Status status = writer->Close();
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    std::exit(EXIT_FAILURE);
+  }
 }
 
 }  // namespace madnet::bench

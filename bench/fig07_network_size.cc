@@ -21,8 +21,7 @@ using scenario::MethodName;
 using scenario::RunReplicated;
 using scenario::ScenarioConfig;
 
-void Run() {
-  const auto env = bench::BenchEnv::FromEnvironment();
+void Run(const bench::BenchEnv& env) {
   bench::PrintHeader(
       "Figure 7 — Performance in different network sizes (Table II setting)",
       "(a) all methods ~100% delivery when dense (>300 peers); Flooding and "
@@ -43,16 +42,25 @@ void Run() {
       {"method", "peers", "delivery_rate_pct", "delivery_time_s",
        "messages", "rate_sd", "time_sd", "messages_sd"});
 
-  // results[method][size index].
-  std::vector<std::vector<Aggregate>> results(methods.size());
-  for (size_t m = 0; m < methods.size(); ++m) {
-    for (int n : sizes) {
-      ScenarioConfig config;  // Table II defaults.
-      config.method = methods[m];
-      config.num_peers = n;
-      Aggregate aggregate = RunReplicated(config, env.reps);
-      if (csv) {
-        csv->Row(MethodName(methods[m]), n,
+  // results[method][size index]. The (method, size) grid is flattened and
+  // fanned out over the worker pool; CSV/tables are emitted afterwards in
+  // grid order, so the output is identical at any --jobs value.
+  std::vector<std::vector<Aggregate>> results(
+      methods.size(), std::vector<Aggregate>(sizes.size()));
+  bench::ParallelSweep(
+      env, methods.size() * sizes.size(), [&](size_t point) {
+        const size_t m = point / sizes.size();
+        const size_t s = point % sizes.size();
+        ScenarioConfig config;  // Table II defaults.
+        config.method = methods[m];
+        config.num_peers = sizes[s];
+        results[m][s] = RunReplicated(config, env.reps);
+      });
+  if (csv) {
+    for (size_t m = 0; m < methods.size(); ++m) {
+      for (size_t s = 0; s < sizes.size(); ++s) {
+        const Aggregate& aggregate = results[m][s];
+        csv->Row(MethodName(methods[m]), sizes[s],
                  aggregate.delivery_rate_percent.Mean(),
                  aggregate.mean_delivery_time_s.Mean(),
                  aggregate.messages.Mean(),
@@ -60,7 +68,6 @@ void Run() {
                  aggregate.mean_delivery_time_s.Stddev(),
                  aggregate.messages.Stddev());
       }
-      results[m].push_back(std::move(aggregate));
     }
   }
 
@@ -96,12 +103,13 @@ void Run() {
       "\nHeadline (at %d peers): Optimized Gossiping messages = %.2f%% of "
       "Flooding (paper: 8.85%%), %.2f%% of Gossiping (paper: 9.89%%)\n",
       sizes[last], 100.0 * optimized / flood, 100.0 * optimized / gossip);
+  bench::CloseCsv(std::move(csv));
 }
 
 }  // namespace
 }  // namespace madnet
 
-int main() {
-  madnet::Run();
+int main(int argc, char** argv) {
+  madnet::Run(madnet::bench::BenchEnv::FromEnvironment(argc, argv));
   return 0;
 }

@@ -19,8 +19,7 @@ using scenario::MethodName;
 using scenario::RunReplicated;
 using scenario::ScenarioConfig;
 
-void Run() {
-  const auto env = bench::BenchEnv::FromEnvironment();
+void Run(const bench::BenchEnv& env) {
   bench::PrintHeader(
       "Figure 8 — Performance at different motion speeds (300 peers)",
       "Speed has limited impact on Delivery Rate and Messages (near-stable "
@@ -37,23 +36,31 @@ void Run() {
                             {"method", "mean_speed_mps", "delivery_rate_pct",
                              "delivery_time_s", "messages"});
 
-  std::vector<std::vector<Aggregate>> results(methods.size());
-  for (size_t m = 0; m < methods.size(); ++m) {
-    for (double speed : speeds) {
-      ScenarioConfig config;
-      config.method = methods[m];
-      config.num_peers = 300;
-      config.mean_speed_mps = speed;
-      config.speed_delta_mps = std::min(5.0, speed - 1.0);
-      config.medium.max_speed_mps = speed + 5.0;
-      Aggregate aggregate = RunReplicated(config, env.reps);
-      if (csv) {
-        csv->Row(MethodName(methods[m]), speed,
-                 aggregate.delivery_rate_percent.Mean(),
-                 aggregate.mean_delivery_time_s.Mean(),
-                 aggregate.messages.Mean());
+  // Grid points fan out over the pool; CSV is written serially afterwards
+  // in grid order, so output is identical at any --jobs value.
+  std::vector<std::vector<Aggregate>> results(
+      methods.size(), std::vector<Aggregate>(speeds.size()));
+  bench::ParallelSweep(
+      env, methods.size() * speeds.size(), [&](size_t point) {
+        const size_t m = point / speeds.size();
+        const size_t s = point % speeds.size();
+        const double speed = speeds[s];
+        ScenarioConfig config;
+        config.method = methods[m];
+        config.num_peers = 300;
+        config.mean_speed_mps = speed;
+        config.speed_delta_mps = std::min(5.0, speed - 1.0);
+        config.medium.max_speed_mps = speed + 5.0;
+        results[m][s] = RunReplicated(config, env.reps);
+      });
+  if (csv) {
+    for (size_t m = 0; m < methods.size(); ++m) {
+      for (size_t s = 0; s < speeds.size(); ++s) {
+        csv->Row(MethodName(methods[m]), speeds[s],
+                 results[m][s].delivery_rate_percent.Mean(),
+                 results[m][s].mean_delivery_time_s.Mean(),
+                 results[m][s].messages.Mean());
       }
-      results[m].push_back(std::move(aggregate));
     }
   }
 
@@ -79,12 +86,13 @@ void Run() {
     }
     table.Print();
   }
+  bench::CloseCsv(std::move(csv));
 }
 
 }  // namespace
 }  // namespace madnet
 
-int main() {
-  madnet::Run();
+int main(int argc, char** argv) {
+  madnet::Run(madnet::bench::BenchEnv::FromEnvironment(argc, argv));
   return 0;
 }

@@ -44,7 +44,7 @@ void Run() {
       ScenarioConfig config;
       config.method = method;
       config.num_peers = n;
-      return RunReplicated(config, env.reps).Messages();
+      return RunReplicated(config, env.reps, env.jobs).Messages();
     };
     const double gossip = messages_for(Method::kGossip);
     const double r1 = 100.0 * (1.0 - messages_for(Method::kOptimized1) /

@@ -51,7 +51,7 @@ void PrintSweep(const bench::BenchEnv& env, const std::string& name,
   for (double value : values) {
     ScenarioConfig config = BaseConfig();
     apply(&config, value);
-    Aggregate a = RunReplicated(config, env.reps);
+    Aggregate a = RunReplicated(config, env.reps, env.jobs);
     table.Row(Table::Num(value, 2), Table::Num(a.DeliveryRate(), 2),
               Table::Num(a.DeliveryTime(), 2), Table::Num(a.Messages(), 0));
     if (csv) csv->Row(value, a.DeliveryRate(), a.DeliveryTime(), a.Messages());

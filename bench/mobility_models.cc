@@ -47,7 +47,7 @@ void Run() {
       config.method = method;
       config.mobility = mobility;
       config.num_peers = 300;
-      Aggregate aggregate = RunReplicated(config, env.reps);
+      Aggregate aggregate = RunReplicated(config, env.reps, env.jobs);
       table.Row(MobilityName(mobility), MethodName(method),
                 Table::Num(aggregate.DeliveryRate(), 2),
                 Table::Num(aggregate.DeliveryTime(), 2),

@@ -1,0 +1,200 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+//
+// Performance-trajectory tracker (not a paper figure): measures the raw
+// simulation engine so regressions and wins show up as numbers, PR over PR.
+//
+//   1. Single-run hot path: one reference scenario (1000 peers, Table II
+//      otherwise) — wall-clock, events/sec, broadcasts/sec. This is the
+//      number the Medium/SpatialIndex optimisations move.
+//   2. Sweep engine: a fig07-style (method × network size) grid, run
+//      serially and then with a worker per hardware thread — wall-clock
+//      both ways and the resulting speedup. This is the number the
+//      exec::ThreadPool engine moves.
+//
+// Results go to stdout and to BENCH_throughput.json in $MADNET_BENCH_CSV
+// (default "."). The sweep's aggregates are compared between the serial
+// and parallel runs; any difference is a determinism bug and fails the
+// binary. MADNET_BENCH_FAST shrinks both workloads.
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "exec/parallel_for.h"
+#include "exec/thread_pool.h"
+#include "scenario/experiment.h"
+#include "scenario/scenario.h"
+#include "util/json.h"
+#include "util/table.h"
+
+namespace madnet {
+namespace {
+
+using scenario::Aggregate;
+using scenario::Method;
+using scenario::MethodName;
+using scenario::RunReplicated;
+using scenario::RunResult;
+using scenario::RunScenario;
+using scenario::ScenarioConfig;
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct SweepResult {
+  double wall_s = 0.0;
+  std::vector<Aggregate> aggregates;  // One per grid point, grid order.
+};
+
+SweepResult RunSweep(const std::vector<Method>& methods,
+                     const std::vector<int>& sizes, int reps, int jobs) {
+  SweepResult sweep;
+  sweep.aggregates.resize(methods.size() * sizes.size());
+  const auto start = std::chrono::steady_clock::now();
+  exec::ParallelFor(jobs, sweep.aggregates.size(), [&](size_t point) {
+    ScenarioConfig config;  // Table II defaults.
+    config.method = methods[point / sizes.size()];
+    config.num_peers = sizes[point % sizes.size()];
+    sweep.aggregates[point] = RunReplicated(config, reps);
+  });
+  sweep.wall_s = SecondsSince(start);
+  return sweep;
+}
+
+/// Field-for-field equality of the two sweeps' aggregates; any difference
+/// means the parallel engine changed results and must fail loudly.
+bool SweepsIdentical(const SweepResult& a, const SweepResult& b) {
+  if (a.aggregates.size() != b.aggregates.size()) return false;
+  for (size_t i = 0; i < a.aggregates.size(); ++i) {
+    const Aggregate& x = a.aggregates[i];
+    const Aggregate& y = b.aggregates[i];
+    if (x.delivery_rate_percent.Sum() != y.delivery_rate_percent.Sum() ||
+        x.mean_delivery_time_s.Sum() != y.mean_delivery_time_s.Sum() ||
+        x.messages.Sum() != y.messages.Sum() ||
+        x.peers_passed.Sum() != y.peers_passed.Sum() ||
+        x.final_rank.Sum() != y.final_rank.Sum()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Run(const bench::BenchEnv& env) {
+  bench::PrintHeader(
+      "Throughput — raw engine speed (tracked across PRs, not a figure)",
+      "n/a; reference numbers for the simulation core itself.");
+
+  // --- 1. Single-run hot path. ---
+  ScenarioConfig reference;  // Table II defaults.
+  reference.num_peers = env.fast ? 300 : 1000;
+  auto start = std::chrono::steady_clock::now();
+  const RunResult single = RunScenario(reference);
+  const double single_wall_s = SecondsSince(start);
+  const double events_per_sec =
+      static_cast<double>(single.events_executed) / single_wall_s;
+  const double broadcasts_per_sec =
+      static_cast<double>(single.Messages()) / single_wall_s;
+
+  std::printf("\nSingle run (%d peers, Table II):\n", reference.num_peers);
+  std::printf("  wall-clock        %.3f s\n", single_wall_s);
+  std::printf("  events            %llu (%.0f events/s)\n",
+              static_cast<unsigned long long>(single.events_executed),
+              events_per_sec);
+  std::printf("  broadcasts        %llu (%.0f broadcasts/s)\n",
+              static_cast<unsigned long long>(single.Messages()),
+              broadcasts_per_sec);
+
+  // --- 2. Sweep engine, serial vs parallel. ---
+  std::vector<Method> methods = {Method::kFlooding, Method::kGossip,
+                                 Method::kOptimized};
+  std::vector<int> sizes = {100, 300, 600, 1000};
+  if (env.fast) sizes = {100, 300};
+  // --jobs / MADNET_JOBS still wins if given; otherwise use the hardware.
+  const int parallel_jobs =
+      env.jobs > 1 ? env.jobs : exec::ThreadPool::HardwareConcurrency();
+
+  const SweepResult serial = RunSweep(methods, sizes, env.reps, 1);
+  const SweepResult parallel =
+      RunSweep(methods, sizes, env.reps, parallel_jobs);
+  const double speedup =
+      parallel.wall_s > 0.0 ? serial.wall_s / parallel.wall_s : 0.0;
+
+  std::printf("\nfig07-style sweep (%zu points, %d reps each):\n",
+              serial.aggregates.size(), env.reps);
+  std::printf("  serial            %.3f s\n", serial.wall_s);
+  std::printf("  jobs=%-3d          %.3f s\n", parallel_jobs,
+              parallel.wall_s);
+  std::printf("  speedup           %.2fx (%d hardware threads)\n", speedup,
+              exec::ThreadPool::HardwareConcurrency());
+
+  if (!SweepsIdentical(serial, parallel)) {
+    std::fprintf(stderr,
+                 "error: parallel sweep aggregates differ from serial — "
+                 "determinism contract broken\n");
+    std::exit(EXIT_FAILURE);
+  }
+  std::printf("  determinism       serial == jobs=%d aggregates ✓\n",
+              parallel_jobs);
+
+  if (env.csv_dir.empty()) return;
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("single_run");
+  json.BeginObject();
+  json.Key("peers");
+  json.Value(reference.num_peers);
+  json.Key("wall_s");
+  json.Value(single_wall_s);
+  json.Key("events");
+  json.Value(static_cast<uint64_t>(single.events_executed));
+  json.Key("events_per_sec");
+  json.Value(events_per_sec);
+  json.Key("broadcasts");
+  json.Value(static_cast<uint64_t>(single.Messages()));
+  json.Key("broadcasts_per_sec");
+  json.Value(broadcasts_per_sec);
+  json.EndObject();
+  json.Key("sweep");
+  json.BeginObject();
+  json.Key("grid_points");
+  json.Value(static_cast<uint64_t>(serial.aggregates.size()));
+  json.Key("reps");
+  json.Value(env.reps);
+  json.Key("serial_wall_s");
+  json.Value(serial.wall_s);
+  json.Key("parallel_wall_s");
+  json.Value(parallel.wall_s);
+  json.Key("jobs");
+  json.Value(parallel_jobs);
+  json.Key("hardware_threads");
+  json.Value(exec::ThreadPool::HardwareConcurrency());
+  json.Key("speedup");
+  json.Value(speedup);
+  json.Key("deterministic");
+  json.Value(true);
+  json.EndObject();
+  json.EndObject();
+
+  const std::string path = env.csv_dir + "/BENCH_throughput.json";
+  std::ofstream out(path, std::ios::trunc);
+  out << json.TakeString() << '\n';
+  out.close();
+  if (out.fail()) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    std::exit(EXIT_FAILURE);
+  }
+  std::printf("\nWrote %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace madnet
+
+int main(int argc, char** argv) {
+  madnet::Run(madnet::bench::BenchEnv::FromEnvironment(argc, argv));
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+
+#include "exec/parallel_for.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "exec/thread_pool.h"
+
+namespace madnet::exec {
+
+void ParallelFor(int jobs, size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (jobs <= 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  const int workers =
+      static_cast<int>(std::min<size_t>(static_cast<size_t>(jobs), n));
+  std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+  ThreadPool pool(workers);
+  for (int w = 0; w < workers; ++w) {
+    pool.Submit([&] {
+      for (;;) {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n || failed.load(std::memory_order_relaxed)) return;
+        try {
+          fn(i);
+        } catch (...) {
+          // Stop claiming further indices; the pool records and Wait()
+          // rethrows the first exception.
+          failed.store(true, std::memory_order_relaxed);
+          throw;
+        }
+      }
+    });
+  }
+  pool.Wait();
+}
+
+int ResolveJobs(int jobs) {
+  return jobs >= 1 ? jobs : ThreadPool::HardwareConcurrency();
+}
+
+}  // namespace madnet::exec

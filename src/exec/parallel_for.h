@@ -1,0 +1,33 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+//
+// Deterministic-result parallel index loop built on ThreadPool. Workers
+// claim indices dynamically (an atomic counter), so the *execution* order
+// is nondeterministic, but each index runs exactly once — callers keep
+// results deterministic by writing into slot `i` of a pre-sized output and
+// reducing in index order afterwards.
+
+#ifndef MADNET_EXEC_PARALLEL_FOR_H_
+#define MADNET_EXEC_PARALLEL_FOR_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace madnet::exec {
+
+/// Runs fn(i) for every i in [0, n). With jobs <= 1 (or n <= 1) everything
+/// executes inline on the calling thread, in increasing-index order —
+/// there is no pool, no threads, and therefore byte-identical behaviour to
+/// a plain for-loop. With jobs > 1, min(jobs, n) workers claim indices
+/// from a shared counter. The first exception thrown by any fn(i) is
+/// rethrown on the caller once all workers have stopped; remaining
+/// unclaimed indices are abandoned in that case.
+void ParallelFor(int jobs, size_t n, const std::function<void(size_t)>& fn);
+
+/// Maps the user-facing jobs knob to a worker count: values >= 1 pass
+/// through, anything else (0, negative) means "one worker per hardware
+/// thread".
+int ResolveJobs(int jobs);
+
+}  // namespace madnet::exec
+
+#endif  // MADNET_EXEC_PARALLEL_FOR_H_

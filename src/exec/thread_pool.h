@@ -1,0 +1,70 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+//
+// Fixed-size worker pool for the experiment engine. Deliberately simple —
+// a mutex-protected FIFO queue, no work stealing — because madnet's
+// parallelism unit is a whole scenario replication (seconds of work), so
+// queue overhead is irrelevant and FIFO keeps behaviour easy to reason
+// about. Determinism contract: the pool makes no ordering promises between
+// tasks; callers that need reproducible output write results into
+// pre-sized, index-addressed slots and reduce them in index order after
+// Wait() (see scenario::RunReplicated).
+
+#ifndef MADNET_EXEC_THREAD_POOL_H_
+#define MADNET_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace madnet::exec {
+
+/// A fixed set of worker threads draining one FIFO task queue.
+class ThreadPool {
+ public:
+  /// Starts `threads` workers (values < 1 are clamped to 1).
+  explicit ThreadPool(int threads);
+
+  /// Joins all workers. Pending tasks are still executed (drains the
+  /// queue), so destruction is equivalent to Wait() + shutdown — except
+  /// that a stored exception is swallowed; call Wait() first to observe it.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task. Safe to call from worker threads (tasks may submit
+  /// follow-up tasks); such nested submissions are picked up before Wait()
+  /// returns.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task (including nested submissions) has
+  /// finished, then rethrows the first exception any task threw, if any.
+  /// Call from outside the pool only — a worker calling Wait() would
+  /// deadlock on its own task.
+  void Wait();
+
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static int HardwareConcurrency();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable task_ready_;   // Signals workers: work or stop.
+  std::condition_variable all_idle_;     // Signals Wait(): everything done.
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;                 // Queued + currently executing.
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace madnet::exec
+
+#endif  // MADNET_EXEC_THREAD_POOL_H_

@@ -3,6 +3,7 @@
 #include "net/medium.h"
 
 #include <algorithm>
+#include <utility>
 
 #include <cassert>
 #include <cmath>
@@ -25,75 +26,79 @@ Status Medium::AddNode(NodeId id, MobilityModel* mobility) {
   if (mobility == nullptr) {
     return Status::InvalidArgument("mobility model must not be null");
   }
-  auto [it, inserted] = nodes_.try_emplace(id);
+  const uint32_t index = static_cast<uint32_t>(states_.size());
+  auto [it, inserted] = index_of_.try_emplace(id, index);
   if (!inserted) return Status::AlreadyExists("node id already registered");
-  it->second.mobility = mobility;
+  states_.emplace_back();
+  states_.back().mobility = mobility;
   ids_.push_back(id);
   index_time_ = -1.0;  // Force reindex: the node set changed.
   return Status::Ok();
 }
 
 Status Medium::SetReceiver(NodeId id, ReceiveHandler handler) {
-  auto it = nodes_.find(id);
-  if (it == nodes_.end()) return Status::NotFound("unknown node id");
-  it->second.handler = std::move(handler);
+  const uint32_t index = IndexOf(id);
+  if (index == kNotFound) return Status::NotFound("unknown node id");
+  states_[index].handler = std::move(handler);
   return Status::Ok();
 }
 
 Status Medium::SetOnline(NodeId id, bool online) {
-  auto it = nodes_.find(id);
-  if (it == nodes_.end()) return Status::NotFound("unknown node id");
-  it->second.online = online;
+  const uint32_t index = IndexOf(id);
+  if (index == kNotFound) return Status::NotFound("unknown node id");
+  states_[index].online = online;
   return Status::Ok();
 }
 
 uint64_t Medium::SentBy(NodeId id) const {
-  auto it = nodes_.find(id);
-  return it == nodes_.end() ? 0 : it->second.sent;
+  const uint32_t index = IndexOf(id);
+  return index == kNotFound ? 0 : states_[index].sent;
 }
 
 uint64_t Medium::SentBytesBy(NodeId id) const {
-  auto it = nodes_.find(id);
-  return it == nodes_.end() ? 0 : it->second.sent_bytes;
+  const uint32_t index = IndexOf(id);
+  return index == kNotFound ? 0 : states_[index].sent_bytes;
 }
 
 uint64_t Medium::ReceivedBy(NodeId id) const {
-  auto it = nodes_.find(id);
-  return it == nodes_.end() ? 0 : it->second.received;
+  const uint32_t index = IndexOf(id);
+  return index == kNotFound ? 0 : states_[index].received;
 }
 
 uint64_t Medium::ReceivedBytesBy(NodeId id) const {
-  auto it = nodes_.find(id);
-  return it == nodes_.end() ? 0 : it->second.received_bytes;
+  const uint32_t index = IndexOf(id);
+  return index == kNotFound ? 0 : states_[index].received_bytes;
 }
 
 bool Medium::IsOnline(NodeId id) const {
-  auto it = nodes_.find(id);
-  return it != nodes_.end() && it->second.online;
+  const uint32_t index = IndexOf(id);
+  return index != kNotFound && states_[index].online;
 }
 
 Vec2 Medium::PositionOf(NodeId id) const {
-  auto it = nodes_.find(id);
-  assert(it != nodes_.end() && "PositionOf on unknown node");
-  return it->second.mobility->PositionAt(simulator_->Now());
+  const uint32_t index = IndexOf(id);
+  assert(index != kNotFound && "PositionOf on unknown node");
+  return states_[index].mobility->PositionAt(simulator_->Now());
 }
 
 Vec2 Medium::VelocityOf(NodeId id) const {
-  auto it = nodes_.find(id);
-  assert(it != nodes_.end() && "VelocityOf on unknown node");
-  return it->second.mobility->VelocityAt(simulator_->Now());
+  const uint32_t index = IndexOf(id);
+  assert(index != kNotFound && "VelocityOf on unknown node");
+  return states_[index].mobility->VelocityAt(simulator_->Now());
 }
 
 double Medium::RefreshIndex() const {
   const Time now = simulator_->Now();
   if (index_time_ < 0.0 || now - index_time_ > options_.reindex_interval_s) {
-    std::vector<std::pair<NodeId, Vec2>> positions;
-    positions.reserve(nodes_.size());
-    for (NodeId id : ids_) {
-      const NodeState& state = nodes_.at(id);
-      positions.emplace_back(id, state.mobility->PositionAt(now));
+    // The index stores dense node indices (cast through NodeId), so query
+    // results feed straight into states_[] without a hash lookup per hit.
+    rebuild_scratch_.clear();
+    rebuild_scratch_.reserve(states_.size());
+    for (uint32_t i = 0; i < states_.size(); ++i) {
+      rebuild_scratch_.emplace_back(
+          static_cast<NodeId>(i), states_[i].mobility->PositionAt(now));
     }
-    index_.Rebuild(positions);
+    index_.Rebuild(rebuild_scratch_);
     index_time_ = now;
   }
   // Indexed positions are up to (now - index_time_) old; both endpoints of a
@@ -102,56 +107,72 @@ double Medium::RefreshIndex() const {
   return 2.0 * options_.max_speed_mps * (simulator_->Now() - index_time_);
 }
 
-std::vector<NodeId> Medium::NeighborsOf(const Vec2& center,
-                                        double radius) const {
+const std::vector<uint32_t>& Medium::NeighborIndicesOf(const Vec2& center,
+                                                       double radius) const {
   const double slack = RefreshIndex();
-  std::vector<NodeId> candidates;
-  index_.QueryRange(center, radius + slack, &candidates);
+  candidate_scratch_.clear();
+  index_.QueryRange(center, radius + slack, &candidate_scratch_);
 
   const Time now = simulator_->Now();
   const double r2 = radius * radius;
-  std::vector<NodeId> result;
-  result.reserve(candidates.size());
-  for (NodeId id : candidates) {
-    const NodeState& state = nodes_.at(id);
+  neighbor_scratch_.clear();
+  for (NodeId candidate : candidate_scratch_) {
+    const uint32_t index = static_cast<uint32_t>(candidate);
+    const NodeState& state = states_[index];
     if (!state.online) continue;
     if (DistanceSquared(state.mobility->PositionAt(now), center) <= r2) {
-      result.push_back(id);
+      neighbor_scratch_.push_back(index);
     }
   }
+  return neighbor_scratch_;
+}
+
+std::vector<NodeId> Medium::NeighborsOf(const Vec2& center,
+                                        double radius) const {
+  const std::vector<uint32_t>& indices = NeighborIndicesOf(center, radius);
+  std::vector<NodeId> result;
+  result.reserve(indices.size());
+  for (uint32_t index : indices) result.push_back(ids_[index]);
   return result;
 }
 
 Status Medium::Broadcast(NodeId from, const Packet& packet) {
-  auto it = nodes_.find(from);
-  if (it == nodes_.end()) return Status::NotFound("unknown sender");
-  if (!it->second.online) {
+  const uint32_t from_index = IndexOf(from);
+  if (from_index == kNotFound) return Status::NotFound("unknown sender");
+  if (!states_[from_index].online) {
     return Status::FailedPrecondition("sender is offline");
   }
   if (options_.csma) {
-    CsmaTryTransmit(from, packet, 0);
+    CsmaTryTransmit(from_index, packet, 0);
     return Status::Ok();
   }
 
+  NodeState& sender = states_[from_index];
   stats_.messages_sent += 1;
   stats_.bytes_sent += packet.size_bytes;
-  it->second.sent += 1;
-  it->second.sent_bytes += packet.size_bytes;
+  sender.sent += 1;
+  sender.sent_bytes += packet.size_bytes;
 
   // Reception set is fixed at transmission time (propagation is effectively
   // instantaneous relative to node motion); the jittered delay models MAC
   // access plus processing.
-  const Vec2 origin = PositionOf(from);
+  const Time now = simulator_->Now();
+  const Vec2 origin = states_[from_index].mobility->PositionAt(now);
   if (observer_) observer_(from, packet, origin);
-  for (NodeId to : NeighborsOf(origin, options_.range_m)) {
-    if (to == from) continue;
+  // All delivery lambdas of this broadcast share one heap copy of the
+  // packet (allocated on the first scheduled delivery), instead of N
+  // independent Packet copies.
+  std::shared_ptr<const Packet> shared;
+  for (uint32_t to : NeighborIndicesOf(origin, options_.range_m)) {
+    if (to == from_index) continue;
     if (rng_.Bernoulli(options_.loss_probability)) {
       stats_.dropped_loss += 1;
       continue;
     }
     if (options_.fading_exponent > 0.0) {
       const double fraction =
-          Distance(PositionOf(to), origin) / options_.range_m;
+          Distance(states_[to].mobility->PositionAt(now), origin) /
+          options_.range_m;
       if (rng_.Bernoulli(std::pow(fraction, options_.fading_exponent))) {
         stats_.dropped_loss += 1;
         continue;
@@ -159,17 +180,16 @@ Status Medium::Broadcast(NodeId from, const Packet& packet) {
     }
     const double latency =
         rng_.Uniform(options_.min_latency_s, options_.max_latency_s);
-    simulator_->Schedule(latency, [this, from, to, packet]() {
-      Deliver(from, to, packet);
+    if (!shared) shared = std::make_shared<const Packet>(packet);
+    simulator_->Schedule(latency, [this, from, to, shared]() {
+      DeliverTo(to, from, *shared);
     });
   }
   return Status::Ok();
 }
 
-void Medium::CsmaTryTransmit(NodeId from, Packet packet, int attempt) {
-  auto it = nodes_.find(from);
-  if (it == nodes_.end()) return;
-  NodeState& sender = it->second;
+void Medium::CsmaTryTransmit(uint32_t from_index, Packet packet, int attempt) {
+  NodeState& sender = states_[from_index];
   if (!sender.online) return;  // Went offline while deferring.
 
   const Time now = simulator_->Now();
@@ -182,35 +202,39 @@ void Medium::CsmaTryTransmit(NodeId from, Packet packet, int attempt) {
     stats_.mac_defers += 1;
     const double wait = (sender.channel_busy_until - now) +
                         rng_.Uniform(0.0, options_.max_backoff_s);
-    simulator_->Schedule(wait, [this, from, packet = std::move(packet),
-                                attempt]() {
-      CsmaTryTransmit(from, packet, attempt + 1);
-    });
+    simulator_->Schedule(
+        wait, [this, from_index, packet = std::move(packet),
+               attempt]() mutable {
+          CsmaTryTransmit(from_index, std::move(packet), attempt + 1);
+        });
     return;
   }
-  CsmaTransmit(from, packet);
+  CsmaTransmit(from_index, std::move(packet));
 }
 
-void Medium::CsmaTransmit(NodeId from, const Packet& packet) {
+void Medium::CsmaTransmit(uint32_t from_index, Packet packet) {
   const Time now = simulator_->Now();
   const double airtime =
       options_.mac_overhead_s +
       static_cast<double>(packet.size_bytes) * 8.0 / options_.bitrate_bps;
   const Time end = now + airtime;
 
-  NodeState& sender = nodes_.at(from);
+  NodeState& sender = states_[from_index];
   stats_.messages_sent += 1;
   stats_.bytes_sent += packet.size_bytes;
   sender.sent += 1;
   sender.sent_bytes += packet.size_bytes;
   sender.channel_busy_until = std::max(sender.channel_busy_until, end);
 
-  const Vec2 origin = PositionOf(from);
-  if (observer_) observer_(from, packet, origin);
+  const NodeId from = ids_[from_index];
+  const Vec2 origin = sender.mobility->PositionAt(now);
+  // One heap copy shared by every receiver's completion lambda.
+  auto shared = std::make_shared<const Packet>(std::move(packet));
+  if (observer_) observer_(from, *shared, origin);
 
-  for (NodeId to : NeighborsOf(origin, options_.range_m)) {
-    if (to == from) continue;
-    NodeState& receiver = nodes_.at(to);
+  for (uint32_t to : NeighborIndicesOf(origin, options_.range_m)) {
+    if (to == from_index) continue;
+    NodeState& receiver = states_[to];
     // The receiver was already mid-reception of another frame: this frame
     // is garbled at that receiver (capture effect: the earlier frame
     // survives). Either way the carrier extends the busy period.
@@ -227,32 +251,30 @@ void Medium::CsmaTransmit(NodeId from, const Packet& packet) {
     }
     if (options_.fading_exponent > 0.0) {
       const double fraction =
-          Distance(PositionOf(to), origin) / options_.range_m;
+          Distance(states_[to].mobility->PositionAt(now), origin) /
+          options_.range_m;
       if (rng_.Bernoulli(std::pow(fraction, options_.fading_exponent))) {
         stats_.dropped_loss += 1;
         continue;
       }
     }
     // Reception completes when the frame's airtime ends.
-    simulator_->Schedule(airtime, [this, from, to, packet]() {
-      auto it = nodes_.find(to);
-      if (it == nodes_.end()) return;
-      if (!it->second.online) {
+    simulator_->Schedule(airtime, [this, from, to, shared]() {
+      NodeState& state = states_[to];
+      if (!state.online) {
         stats_.dropped_offline += 1;
         return;
       }
       stats_.deliveries += 1;
-      it->second.received += 1;
-      it->second.received_bytes += packet.size_bytes;
-      if (it->second.handler) it->second.handler(packet, from, to);
+      state.received += 1;
+      state.received_bytes += shared->size_bytes;
+      if (state.handler) state.handler(*shared, from, ids_[to]);
     });
   }
 }
 
-void Medium::Deliver(NodeId from, NodeId to, const Packet& packet) {
-  auto it = nodes_.find(to);
-  if (it == nodes_.end()) return;  // Node disappeared; nothing to do.
-  NodeState& state = it->second;
+void Medium::DeliverTo(uint32_t to_index, NodeId from, const Packet& packet) {
+  NodeState& state = states_[to_index];
   if (!state.online) {
     stats_.dropped_offline += 1;
     return;
@@ -272,7 +294,7 @@ void Medium::Deliver(NodeId from, NodeId to, const Packet& packet) {
   stats_.deliveries += 1;
   state.received += 1;
   state.received_bytes += packet.size_bytes;
-  if (state.handler) state.handler(packet, from, to);
+  if (state.handler) state.handler(packet, from, ids_[to_index]);
 }
 
 }  // namespace madnet::net

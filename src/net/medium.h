@@ -6,6 +6,14 @@
 // collision model. Every node in range of a broadcast receives it (wireless
 // broadcasts are inherently promiscuous, which is what gossip
 // Optimization 2's overhearing relies on).
+//
+// Storage layout: node state lives in a dense std::vector indexed by a
+// per-medium dense index (assigned at AddNode, never reused or removed);
+// the id→index map is consulted once at each public-API entry point and
+// every hot-path loop then runs on plain array accesses. The spatial index
+// stores dense indices too, so a broadcast performs zero hash lookups per
+// receiver. A Medium instance is single-threaded by design — concurrent
+// replications each build their own Medium (see scenario::RunReplicated).
 
 #ifndef MADNET_NET_MEDIUM_H_
 #define MADNET_NET_MEDIUM_H_
@@ -161,29 +169,55 @@ class Medium {
     Time channel_busy_until = -1.0;
   };
 
+  /// Dense index of a node, or kNotFound for unknown ids.
+  static constexpr uint32_t kNotFound = 0xFFFFFFFFu;
+  uint32_t IndexOf(NodeId id) const {
+    auto it = index_of_.find(id);
+    return it == index_of_.end() ? kNotFound : it->second;
+  }
+
   /// Rebuilds the spatial index if stale, and returns the slack to add to
   /// query radii so stale entries still yield a superset.
   double RefreshIndex() const;
 
-  void Deliver(NodeId from, NodeId to, const Packet& packet);
+  /// Dense indices of online nodes within `radius` of `center`, in index
+  /// insertion order. Returns a reference to a per-medium scratch buffer:
+  /// valid until the next call, so callers must finish iterating (and not
+  /// trigger nested neighbour queries) before any other medium call that
+  /// queries neighbours.
+  const std::vector<uint32_t>& NeighborIndicesOf(const Vec2& center,
+                                                 double radius) const;
+
+  void DeliverTo(uint32_t to_index, NodeId from, const Packet& packet);
 
   /// CSMA: one carrier-sense attempt; transmits, or reschedules itself
-  /// after a backoff while the channel at the sender is busy.
-  void CsmaTryTransmit(NodeId from, Packet packet, int attempt);
+  /// after a backoff while the channel at the sender is busy. The packet
+  /// is moved through the whole retry chain — a frame is copied at most
+  /// once (out of Broadcast's const ref), however many backoffs it takes.
+  void CsmaTryTransmit(uint32_t from_index, Packet packet, int attempt);
 
   /// CSMA: performs the actual on-air transmission (channel occupation,
   /// per-receiver capture/garble decision, delayed deliveries).
-  void CsmaTransmit(NodeId from, const Packet& packet);
+  void CsmaTransmit(uint32_t from_index, Packet packet);
 
   Options options_;
   Simulator* simulator_;
   mutable Rng rng_;
-  std::unordered_map<NodeId, NodeState> nodes_;
-  std::vector<NodeId> ids_;
+  std::vector<NodeState> states_;                  // Dense, by index.
+  std::vector<NodeId> ids_;                        // index -> id.
+  std::unordered_map<NodeId, uint32_t> index_of_;  // id -> index.
   mutable SpatialIndex index_;
   mutable Time index_time_ = -1.0;
   MediumStats stats_;
   BroadcastObserver observer_;
+
+  // Hot-path scratch, reused across broadcasts instead of reallocating two
+  // vectors per transmission. Safe because a Medium is single-threaded and
+  // deliveries happen via the simulator (never re-entrantly inside the
+  // neighbour loop).
+  mutable std::vector<std::pair<NodeId, Vec2>> rebuild_scratch_;
+  mutable std::vector<NodeId> candidate_scratch_;
+  mutable std::vector<uint32_t> neighbor_scratch_;
 };
 
 }  // namespace madnet::net

@@ -18,11 +18,19 @@ SpatialIndex::CellKey SpatialIndex::KeyFor(const Vec2& p) const {
 
 void SpatialIndex::Rebuild(
     const std::vector<std::pair<NodeId, Vec2>>& positions) {
-  // Reuse bucket storage across rebuilds to avoid churn.
-  for (auto& [key, bucket] : cells_) bucket.clear();
+  // Lazy clear: bumping the generation invalidates every bucket at once;
+  // a bucket's point vector is cleared (capacity kept) only when the new
+  // point set actually touches it, so rebuild cost is O(occupied cells),
+  // not O(all cells ever occupied).
+  ++generation_;
   count_ = positions.size();
   for (const auto& [id, position] : positions) {
-    cells_[KeyFor(position)].push_back(Point{id, position});
+    Cell& cell = cells_[KeyFor(position)];
+    if (cell.generation != generation_) {
+      cell.generation = generation_;
+      cell.points.clear();
+    }
+    cell.points.push_back(Point{id, position});
   }
 }
 
@@ -35,8 +43,10 @@ void SpatialIndex::QueryRange(const Vec2& center, double radius,
   for (int32_t cx = lo.cx; cx <= hi.cx; ++cx) {
     for (int32_t cy = lo.cy; cy <= hi.cy; ++cy) {
       auto it = cells_.find(CellKey{cx, cy});
-      if (it == cells_.end()) continue;
-      for (const Point& point : it->second) {
+      if (it == cells_.end() || it->second.generation != generation_) {
+        continue;
+      }
+      for (const Point& point : it->second.points) {
         if (DistanceSquared(point.position, center) <= r2) {
           out->push_back(point.id);
         }

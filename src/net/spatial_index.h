@@ -57,12 +57,21 @@ class SpatialIndex {
     NodeId id;
     Vec2 position;
   };
+  /// One grid bucket. Buckets are never erased; `generation` marks whether
+  /// the points belong to the current Rebuild, so a rebuild neither frees
+  /// nor clears untouched buckets — point vectors keep their capacity for
+  /// the lifetime of the index and stale buckets cost nothing to skip.
+  struct Cell {
+    uint64_t generation = 0;
+    std::vector<Point> points;
+  };
 
   CellKey KeyFor(const Vec2& p) const;
 
   double cell_size_;
   size_t count_ = 0;
-  std::unordered_map<CellKey, std::vector<Point>, CellKeyHash> cells_;
+  uint64_t generation_ = 0;
+  std::unordered_map<CellKey, Cell, CellKeyHash> cells_;
 };
 
 }  // namespace madnet::net

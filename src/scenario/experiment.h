@@ -29,7 +29,16 @@ struct Aggregate {
 
 /// Runs `replications` copies of `base` with seeds base.seed, base.seed+1,
 /// ... and aggregates. Requires replications >= 1.
-Aggregate RunReplicated(const ScenarioConfig& base, int replications);
+///
+/// `jobs` is the concurrency knob: 1 (the default) runs seeds serially on
+/// the calling thread; jobs > 1 runs up to that many replications at once
+/// on an exec::ThreadPool; jobs <= 0 means one worker per hardware thread.
+/// Each replication owns its whole Simulator/Medium/RNG stack, so runs are
+/// fully isolated; per-seed results are merged in seed order regardless of
+/// completion order, making every Aggregate field bit-identical to the
+/// serial path.
+Aggregate RunReplicated(const ScenarioConfig& base, int replications,
+                        int jobs = 1);
 
 }  // namespace madnet::scenario
 

@@ -2,6 +2,7 @@
 
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -9,26 +10,46 @@ namespace madnet::sim {
 
 EventId EventQueue::Push(Time when, Callback callback) {
   const EventId id = next_seq_++;
-  heap_.push(Entry{when, id, std::move(callback)});
-  pending_.insert(id);
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(callback);
+  } else {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.push_back(std::move(callback));
+  }
+  state_.push_back(kPending);  // state_[id - 1].
+  heap_.push(Entry{when, id, slot});
   ++live_count_;
   return id;
 }
 
 bool EventQueue::Cancel(EventId id) {
   // Only ids that were pushed and have neither run nor been cancelled are
-  // cancellable; `pending_` tracks exactly that set.
-  if (pending_.erase(id) == 0) return false;
-  cancelled_.insert(id);
+  // cancellable. The heap entry stays put as a tombstone; its slot is
+  // reclaimed when the entry reaches the top.
+  if (id == kInvalidEventId || id >= next_seq_) return false;
+  uint8_t& state = state_[id - 1];
+  if (state != kPending) return false;
+  state = kCancelled;
   --live_count_;
   return true;
 }
 
+EventQueue::Callback EventQueue::TakeSlot(uint32_t slot) {
+  Callback callback = std::move(slots_[slot]);
+  slots_[slot] = nullptr;
+  free_slots_.push_back(slot);
+  return callback;
+}
+
 void EventQueue::SkipTombstones() {
   while (!heap_.empty()) {
-    auto it = cancelled_.find(heap_.top().seq);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
+    const Entry& top = heap_.top();
+    if (state_[top.seq - 1] != kCancelled) return;
+    state_[top.seq - 1] = kDone;
+    TakeSlot(top.slot);  // Frees the cancelled callback now.
     heap_.pop();
   }
 }
@@ -42,20 +63,20 @@ Time EventQueue::NextTime() {
 std::pair<Time, EventQueue::Callback> EventQueue::Pop() {
   SkipTombstones();
   assert(!heap_.empty() && "Pop() on an empty queue");
-  // priority_queue::top() is const; the entry is about to be discarded, so
-  // moving the callback out is safe.
-  Entry& top = const_cast<Entry&>(heap_.top());
-  std::pair<Time, Callback> result{top.when, std::move(top.callback)};
-  pending_.erase(top.seq);
+  const Entry top = heap_.top();  // Trivially copyable.
   heap_.pop();
+  state_[top.seq - 1] = kDone;
   --live_count_;
-  return result;
+  return {top.when, TakeSlot(top.slot)};
 }
 
 void EventQueue::Clear() {
   heap_ = {};
-  cancelled_.clear();
-  pending_.clear();
+  slots_.clear();
+  free_slots_.clear();
+  // Outstanding ids become permanently non-cancellable (they neither run
+  // nor linger); ids keep growing across Clear so old handles stay dead.
+  std::fill(state_.begin(), state_.end(), kDone);
   live_count_ = 0;
 }
 

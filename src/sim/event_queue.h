@@ -4,6 +4,13 @@
 // (time, sequence) keys with O(log n) insertion/extraction and O(1)
 // cancellation via tombstones. Events at the same timestamp pop in
 // scheduling order (FIFO), which makes whole runs deterministic.
+//
+// Layout is driven by the broadcast hot path (one event per receiver per
+// frame — millions per run): heap entries are 24-byte trivially-copyable
+// keys so sift operations are memcpys, callbacks live in a recycled slot
+// pool rather than inside the heap, and event lifecycle (pending / ran /
+// cancelled) is a flat byte-per-id vector indexed by the monotonically
+// increasing sequence number — no hash-set insert+erase per event.
 
 #ifndef MADNET_SIM_EVENT_QUEUE_H_
 #define MADNET_SIM_EVENT_QUEUE_H_
@@ -11,7 +18,6 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
 namespace madnet::sim {
@@ -61,8 +67,8 @@ class EventQueue {
  private:
   struct Entry {
     Time when;
-    uint64_t seq;  // Tie-break: FIFO among same-time events; doubles as id.
-    Callback callback;
+    uint64_t seq;   // Tie-break: FIFO among same-time events; doubles as id.
+    uint32_t slot;  // Index of the callback in slots_.
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -71,12 +77,21 @@ class EventQueue {
     }
   };
 
-  /// Pops cancelled entries off the top of the heap.
+  // Lifecycle of an event id (state_[id - 1]).
+  enum : uint8_t { kPending = 0, kDone = 1 };  // Done = ran, cancelled+
+                                               // reaped, or cleared.
+  enum : uint8_t { kCancelled = 2 };           // Cancelled, still in heap.
+
+  /// Pops cancelled entries off the top of the heap, reclaiming slots.
   void SkipTombstones();
 
+  /// Returns the callback slot `slot` to the free pool.
+  Callback TakeSlot(uint32_t slot);
+
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<EventId> pending_;    // Pushed, not yet run or cancelled.
-  std::unordered_set<EventId> cancelled_;  // Cancelled, entry still in heap.
+  std::vector<Callback> slots_;       // Callback storage, heap-independent.
+  std::vector<uint32_t> free_slots_;  // Recyclable indices into slots_.
+  std::vector<uint8_t> state_;        // Per-id lifecycle, indexed by id - 1.
   uint64_t next_seq_ = 1;  // 0 is kInvalidEventId.
   size_t live_count_ = 0;
 };

@@ -6,7 +6,7 @@ namespace madnet {
 
 CsvWriter::CsvWriter(const std::string& path,
                      const std::vector<std::string>& header)
-    : out_(path, std::ios::trunc) {
+    : path_(path), out_(path, std::ios::trunc) {
   if (out_.good()) WriteRow(header);
 }
 
@@ -19,8 +19,10 @@ void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
 }
 
 Status CsvWriter::Close() {
+  // A row written after a failed write sets failbit; closing a stream in
+  // that state keeps it, so one check here covers the whole file's I/O.
   out_.close();
-  if (out_.fail()) return Status::IoError("failed to close CSV file");
+  if (out_.fail()) return Status::IoError("failed to write " + path_);
   return Status::Ok();
 }
 

@@ -23,8 +23,11 @@ class CsvWriter {
   /// writing rows.
   CsvWriter(const std::string& path, const std::vector<std::string>& header);
 
-  /// True iff the file opened successfully.
+  /// True iff the file opened successfully and no write has failed since.
   bool Ok() const { return out_.good(); }
+
+  /// The path the writer was opened with (for error reporting).
+  const std::string& path() const { return path_; }
 
   /// Appends one row. The number of fields should match the header.
   void WriteRow(const std::vector<std::string>& fields);
@@ -51,6 +54,7 @@ class CsvWriter {
 
   static std::string Escape(const std::string& field);
 
+  std::string path_;
   std::ofstream out_;
 };
 

@@ -16,7 +16,11 @@ namespace {
 class TraceIoTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = ::testing::TempDir() + "/madnet_trace_test.txt";
+    // Per-test file name: ctest -j runs these cases as separate processes
+    // concurrently, and a shared path makes them race on each other's data.
+    path_ = ::testing::TempDir() + "/madnet_trace_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".txt";
   }
   void TearDown() override { std::remove(path_.c_str()); }
 
