@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/connectivity.dir/connectivity.cc.o"
+  "CMakeFiles/connectivity.dir/connectivity.cc.o.d"
+  "connectivity"
+  "connectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/connectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coverage_dynamics.dir/coverage_dynamics.cc.o"
+  "CMakeFiles/coverage_dynamics.dir/coverage_dynamics.cc.o.d"
+  "coverage_dynamics"
+  "coverage_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coverage_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy.dir/energy.cc.o"
+  "CMakeFiles/energy.dir/energy.cc.o.d"
+  "energy"
+  "energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

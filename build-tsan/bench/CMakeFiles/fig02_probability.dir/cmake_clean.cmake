@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_probability.dir/fig02_probability.cc.o"
+  "CMakeFiles/fig02_probability.dir/fig02_probability.cc.o.d"
+  "fig02_probability"
+  "fig02_probability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

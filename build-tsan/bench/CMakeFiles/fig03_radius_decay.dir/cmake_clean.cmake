@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_radius_decay.dir/fig03_radius_decay.cc.o"
+  "CMakeFiles/fig03_radius_decay.dir/fig03_radius_decay.cc.o.d"
+  "fig03_radius_decay"
+  "fig03_radius_decay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_radius_decay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_annulus_probability.dir/fig05_annulus_probability.cc.o"
+  "CMakeFiles/fig05_annulus_probability.dir/fig05_annulus_probability.cc.o.d"
+  "fig05_annulus_probability"
+  "fig05_annulus_probability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_annulus_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_speed.dir/fig08_speed.cc.o"
+  "CMakeFiles/fig08_speed.dir/fig08_speed.cc.o.d"
+  "fig08_speed"
+  "fig08_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

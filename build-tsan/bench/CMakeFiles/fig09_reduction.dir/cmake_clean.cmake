@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_reduction.dir/fig09_reduction.cc.o"
+  "CMakeFiles/fig09_reduction.dir/fig09_reduction.cc.o.d"
+  "fig09_reduction"
+  "fig09_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_tuning.dir/fig10_tuning.cc.o"
+  "CMakeFiles/fig10_tuning.dir/fig10_tuning.cc.o.d"
+  "fig10_tuning"
+  "fig10_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

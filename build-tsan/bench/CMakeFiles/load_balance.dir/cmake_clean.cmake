@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_balance.dir/load_balance.cc.o"
+  "CMakeFiles/load_balance.dir/load_balance.cc.o.d"
+  "load_balance"
+  "load_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

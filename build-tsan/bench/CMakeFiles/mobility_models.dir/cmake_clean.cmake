@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_models.dir/mobility_models.cc.o"
+  "CMakeFiles/mobility_models.dir/mobility_models.cc.o.d"
+  "mobility_models"
+  "mobility_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_ad_pressure.dir/multi_ad_pressure.cc.o"
+  "CMakeFiles/multi_ad_pressure.dir/multi_ad_pressure.cc.o.d"
+  "multi_ad_pressure"
+  "multi_ad_pressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_ad_pressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

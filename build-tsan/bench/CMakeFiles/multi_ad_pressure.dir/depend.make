@@ -1,0 +1,2 @@
+# Empty dependencies file for multi_ad_pressure.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranking_accuracy.dir/ranking_accuracy.cc.o"
+  "CMakeFiles/ranking_accuracy.dir/ranking_accuracy.cc.o.d"
+  "ranking_accuracy"
+  "ranking_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranking_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

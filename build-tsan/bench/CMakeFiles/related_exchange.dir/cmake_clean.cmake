@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/related_exchange.dir/related_exchange.cc.o"
+  "CMakeFiles/related_exchange.dir/related_exchange.cc.o.d"
+  "related_exchange"
+  "related_exchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/related_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tables.dir/tables.cc.o"
+  "CMakeFiles/tables.dir/tables.cc.o.d"
+  "tables"
+  "tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/emergency_response.cc" "examples/CMakeFiles/emergency_response.dir/emergency_response.cc.o" "gcc" "examples/CMakeFiles/emergency_response.dir/emergency_response.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/scenario/CMakeFiles/madnet_scenario.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/madnet_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stats/CMakeFiles/madnet_stats.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/madnet_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mobility/CMakeFiles/madnet_mobility.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sketch/CMakeFiles/madnet_sketch.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/madnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/exec/CMakeFiles/madnet_exec.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/madnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parking_traffic.dir/parking_traffic.cc.o"
+  "CMakeFiles/parking_traffic.dir/parking_traffic.cc.o.d"
+  "parking_traffic"
+  "parking_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parking_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

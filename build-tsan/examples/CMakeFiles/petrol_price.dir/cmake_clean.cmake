@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/petrol_price.dir/petrol_price.cc.o"
+  "CMakeFiles/petrol_price.dir/petrol_price.cc.o.d"
+  "petrol_price"
+  "petrol_price.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/petrol_price.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

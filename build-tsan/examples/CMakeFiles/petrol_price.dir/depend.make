@@ -1,0 +1,2 @@
+# Empty dependencies file for petrol_price.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supermarket_promo.dir/supermarket_promo.cc.o"
+  "CMakeFiles/supermarket_promo.dir/supermarket_promo.cc.o.d"
+  "supermarket_promo"
+  "supermarket_promo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supermarket_promo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

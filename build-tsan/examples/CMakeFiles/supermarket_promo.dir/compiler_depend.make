@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for supermarket_promo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ad_cache.cc" "src/core/CMakeFiles/madnet_core.dir/ad_cache.cc.o" "gcc" "src/core/CMakeFiles/madnet_core.dir/ad_cache.cc.o.d"
+  "/root/repo/src/core/ad_codec.cc" "src/core/CMakeFiles/madnet_core.dir/ad_codec.cc.o" "gcc" "src/core/CMakeFiles/madnet_core.dir/ad_codec.cc.o.d"
+  "/root/repo/src/core/advertisement.cc" "src/core/CMakeFiles/madnet_core.dir/advertisement.cc.o" "gcc" "src/core/CMakeFiles/madnet_core.dir/advertisement.cc.o.d"
+  "/root/repo/src/core/interest.cc" "src/core/CMakeFiles/madnet_core.dir/interest.cc.o" "gcc" "src/core/CMakeFiles/madnet_core.dir/interest.cc.o.d"
+  "/root/repo/src/core/opportunistic_gossip.cc" "src/core/CMakeFiles/madnet_core.dir/opportunistic_gossip.cc.o" "gcc" "src/core/CMakeFiles/madnet_core.dir/opportunistic_gossip.cc.o.d"
+  "/root/repo/src/core/propagation.cc" "src/core/CMakeFiles/madnet_core.dir/propagation.cc.o" "gcc" "src/core/CMakeFiles/madnet_core.dir/propagation.cc.o.d"
+  "/root/repo/src/core/protocol.cc" "src/core/CMakeFiles/madnet_core.dir/protocol.cc.o" "gcc" "src/core/CMakeFiles/madnet_core.dir/protocol.cc.o.d"
+  "/root/repo/src/core/ranking.cc" "src/core/CMakeFiles/madnet_core.dir/ranking.cc.o" "gcc" "src/core/CMakeFiles/madnet_core.dir/ranking.cc.o.d"
+  "/root/repo/src/core/resource_exchange.cc" "src/core/CMakeFiles/madnet_core.dir/resource_exchange.cc.o" "gcc" "src/core/CMakeFiles/madnet_core.dir/resource_exchange.cc.o.d"
+  "/root/repo/src/core/restricted_flooding.cc" "src/core/CMakeFiles/madnet_core.dir/restricted_flooding.cc.o" "gcc" "src/core/CMakeFiles/madnet_core.dir/restricted_flooding.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/madnet_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/madnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sketch/CMakeFiles/madnet_sketch.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/madnet_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stats/CMakeFiles/madnet_stats.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mobility/CMakeFiles/madnet_mobility.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/madnet_core.dir/ad_cache.cc.o"
+  "CMakeFiles/madnet_core.dir/ad_cache.cc.o.d"
+  "CMakeFiles/madnet_core.dir/ad_codec.cc.o"
+  "CMakeFiles/madnet_core.dir/ad_codec.cc.o.d"
+  "CMakeFiles/madnet_core.dir/advertisement.cc.o"
+  "CMakeFiles/madnet_core.dir/advertisement.cc.o.d"
+  "CMakeFiles/madnet_core.dir/interest.cc.o"
+  "CMakeFiles/madnet_core.dir/interest.cc.o.d"
+  "CMakeFiles/madnet_core.dir/opportunistic_gossip.cc.o"
+  "CMakeFiles/madnet_core.dir/opportunistic_gossip.cc.o.d"
+  "CMakeFiles/madnet_core.dir/propagation.cc.o"
+  "CMakeFiles/madnet_core.dir/propagation.cc.o.d"
+  "CMakeFiles/madnet_core.dir/protocol.cc.o"
+  "CMakeFiles/madnet_core.dir/protocol.cc.o.d"
+  "CMakeFiles/madnet_core.dir/ranking.cc.o"
+  "CMakeFiles/madnet_core.dir/ranking.cc.o.d"
+  "CMakeFiles/madnet_core.dir/resource_exchange.cc.o"
+  "CMakeFiles/madnet_core.dir/resource_exchange.cc.o.d"
+  "CMakeFiles/madnet_core.dir/restricted_flooding.cc.o"
+  "CMakeFiles/madnet_core.dir/restricted_flooding.cc.o.d"
+  "libmadnet_core.a"
+  "libmadnet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/madnet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/madnet_exec.dir/parallel_for.cc.o"
+  "CMakeFiles/madnet_exec.dir/parallel_for.cc.o.d"
+  "CMakeFiles/madnet_exec.dir/thread_pool.cc.o"
+  "CMakeFiles/madnet_exec.dir/thread_pool.cc.o.d"
+  "libmadnet_exec.a"
+  "libmadnet_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/madnet_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mobility/constant_velocity.cc" "src/mobility/CMakeFiles/madnet_mobility.dir/constant_velocity.cc.o" "gcc" "src/mobility/CMakeFiles/madnet_mobility.dir/constant_velocity.cc.o.d"
+  "/root/repo/src/mobility/hotspot_waypoint.cc" "src/mobility/CMakeFiles/madnet_mobility.dir/hotspot_waypoint.cc.o" "gcc" "src/mobility/CMakeFiles/madnet_mobility.dir/hotspot_waypoint.cc.o.d"
+  "/root/repo/src/mobility/manhattan_grid.cc" "src/mobility/CMakeFiles/madnet_mobility.dir/manhattan_grid.cc.o" "gcc" "src/mobility/CMakeFiles/madnet_mobility.dir/manhattan_grid.cc.o.d"
+  "/root/repo/src/mobility/mobility_model.cc" "src/mobility/CMakeFiles/madnet_mobility.dir/mobility_model.cc.o" "gcc" "src/mobility/CMakeFiles/madnet_mobility.dir/mobility_model.cc.o.d"
+  "/root/repo/src/mobility/random_waypoint.cc" "src/mobility/CMakeFiles/madnet_mobility.dir/random_waypoint.cc.o" "gcc" "src/mobility/CMakeFiles/madnet_mobility.dir/random_waypoint.cc.o.d"
+  "/root/repo/src/mobility/trace.cc" "src/mobility/CMakeFiles/madnet_mobility.dir/trace.cc.o" "gcc" "src/mobility/CMakeFiles/madnet_mobility.dir/trace.cc.o.d"
+  "/root/repo/src/mobility/trace_io.cc" "src/mobility/CMakeFiles/madnet_mobility.dir/trace_io.cc.o" "gcc" "src/mobility/CMakeFiles/madnet_mobility.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/madnet_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/madnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/madnet_mobility.dir/constant_velocity.cc.o"
+  "CMakeFiles/madnet_mobility.dir/constant_velocity.cc.o.d"
+  "CMakeFiles/madnet_mobility.dir/hotspot_waypoint.cc.o"
+  "CMakeFiles/madnet_mobility.dir/hotspot_waypoint.cc.o.d"
+  "CMakeFiles/madnet_mobility.dir/manhattan_grid.cc.o"
+  "CMakeFiles/madnet_mobility.dir/manhattan_grid.cc.o.d"
+  "CMakeFiles/madnet_mobility.dir/mobility_model.cc.o"
+  "CMakeFiles/madnet_mobility.dir/mobility_model.cc.o.d"
+  "CMakeFiles/madnet_mobility.dir/random_waypoint.cc.o"
+  "CMakeFiles/madnet_mobility.dir/random_waypoint.cc.o.d"
+  "CMakeFiles/madnet_mobility.dir/trace.cc.o"
+  "CMakeFiles/madnet_mobility.dir/trace.cc.o.d"
+  "CMakeFiles/madnet_mobility.dir/trace_io.cc.o"
+  "CMakeFiles/madnet_mobility.dir/trace_io.cc.o.d"
+  "libmadnet_mobility.a"
+  "libmadnet_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/madnet_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

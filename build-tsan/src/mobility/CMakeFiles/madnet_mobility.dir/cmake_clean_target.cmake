@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmadnet_mobility.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/medium.cc" "src/net/CMakeFiles/madnet_net.dir/medium.cc.o" "gcc" "src/net/CMakeFiles/madnet_net.dir/medium.cc.o.d"
+  "/root/repo/src/net/spatial_index.cc" "src/net/CMakeFiles/madnet_net.dir/spatial_index.cc.o" "gcc" "src/net/CMakeFiles/madnet_net.dir/spatial_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/madnet_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/madnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mobility/CMakeFiles/madnet_mobility.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

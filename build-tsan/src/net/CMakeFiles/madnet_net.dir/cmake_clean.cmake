@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/madnet_net.dir/medium.cc.o"
+  "CMakeFiles/madnet_net.dir/medium.cc.o.d"
+  "CMakeFiles/madnet_net.dir/spatial_index.cc.o"
+  "CMakeFiles/madnet_net.dir/spatial_index.cc.o.d"
+  "libmadnet_net.a"
+  "libmadnet_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/madnet_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/madnet_scenario.dir/config.cc.o"
+  "CMakeFiles/madnet_scenario.dir/config.cc.o.d"
+  "CMakeFiles/madnet_scenario.dir/config_io.cc.o"
+  "CMakeFiles/madnet_scenario.dir/config_io.cc.o.d"
+  "CMakeFiles/madnet_scenario.dir/experiment.cc.o"
+  "CMakeFiles/madnet_scenario.dir/experiment.cc.o.d"
+  "CMakeFiles/madnet_scenario.dir/multi_ad.cc.o"
+  "CMakeFiles/madnet_scenario.dir/multi_ad.cc.o.d"
+  "CMakeFiles/madnet_scenario.dir/scenario.cc.o"
+  "CMakeFiles/madnet_scenario.dir/scenario.cc.o.d"
+  "libmadnet_scenario.a"
+  "libmadnet_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/madnet_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

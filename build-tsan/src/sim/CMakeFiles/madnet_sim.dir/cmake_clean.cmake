@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/madnet_sim.dir/event_queue.cc.o"
+  "CMakeFiles/madnet_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/madnet_sim.dir/simulator.cc.o"
+  "CMakeFiles/madnet_sim.dir/simulator.cc.o.d"
+  "libmadnet_sim.a"
+  "libmadnet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/madnet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sketch/fm_sketch.cc" "src/sketch/CMakeFiles/madnet_sketch.dir/fm_sketch.cc.o" "gcc" "src/sketch/CMakeFiles/madnet_sketch.dir/fm_sketch.cc.o.d"
+  "/root/repo/src/sketch/hash.cc" "src/sketch/CMakeFiles/madnet_sketch.dir/hash.cc.o" "gcc" "src/sketch/CMakeFiles/madnet_sketch.dir/hash.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/madnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/madnet_sketch.dir/fm_sketch.cc.o"
+  "CMakeFiles/madnet_sketch.dir/fm_sketch.cc.o.d"
+  "CMakeFiles/madnet_sketch.dir/hash.cc.o"
+  "CMakeFiles/madnet_sketch.dir/hash.cc.o.d"
+  "libmadnet_sketch.a"
+  "libmadnet_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/madnet_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

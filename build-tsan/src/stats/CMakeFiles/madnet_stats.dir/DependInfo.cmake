@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/connectivity.cc" "src/stats/CMakeFiles/madnet_stats.dir/connectivity.cc.o" "gcc" "src/stats/CMakeFiles/madnet_stats.dir/connectivity.cc.o.d"
+  "/root/repo/src/stats/delivery.cc" "src/stats/CMakeFiles/madnet_stats.dir/delivery.cc.o" "gcc" "src/stats/CMakeFiles/madnet_stats.dir/delivery.cc.o.d"
+  "/root/repo/src/stats/energy.cc" "src/stats/CMakeFiles/madnet_stats.dir/energy.cc.o" "gcc" "src/stats/CMakeFiles/madnet_stats.dir/energy.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/stats/CMakeFiles/madnet_stats.dir/histogram.cc.o" "gcc" "src/stats/CMakeFiles/madnet_stats.dir/histogram.cc.o.d"
+  "/root/repo/src/stats/summary.cc" "src/stats/CMakeFiles/madnet_stats.dir/summary.cc.o" "gcc" "src/stats/CMakeFiles/madnet_stats.dir/summary.cc.o.d"
+  "/root/repo/src/stats/timeseries.cc" "src/stats/CMakeFiles/madnet_stats.dir/timeseries.cc.o" "gcc" "src/stats/CMakeFiles/madnet_stats.dir/timeseries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/madnet_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/madnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mobility/CMakeFiles/madnet_mobility.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/madnet_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/madnet_stats.dir/connectivity.cc.o"
+  "CMakeFiles/madnet_stats.dir/connectivity.cc.o.d"
+  "CMakeFiles/madnet_stats.dir/delivery.cc.o"
+  "CMakeFiles/madnet_stats.dir/delivery.cc.o.d"
+  "CMakeFiles/madnet_stats.dir/energy.cc.o"
+  "CMakeFiles/madnet_stats.dir/energy.cc.o.d"
+  "CMakeFiles/madnet_stats.dir/histogram.cc.o"
+  "CMakeFiles/madnet_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/madnet_stats.dir/summary.cc.o"
+  "CMakeFiles/madnet_stats.dir/summary.cc.o.d"
+  "CMakeFiles/madnet_stats.dir/timeseries.cc.o"
+  "CMakeFiles/madnet_stats.dir/timeseries.cc.o.d"
+  "libmadnet_stats.a"
+  "libmadnet_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/madnet_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/madnet_util.dir/csv.cc.o"
+  "CMakeFiles/madnet_util.dir/csv.cc.o.d"
+  "CMakeFiles/madnet_util.dir/flags.cc.o"
+  "CMakeFiles/madnet_util.dir/flags.cc.o.d"
+  "CMakeFiles/madnet_util.dir/geometry.cc.o"
+  "CMakeFiles/madnet_util.dir/geometry.cc.o.d"
+  "CMakeFiles/madnet_util.dir/json.cc.o"
+  "CMakeFiles/madnet_util.dir/json.cc.o.d"
+  "CMakeFiles/madnet_util.dir/logging.cc.o"
+  "CMakeFiles/madnet_util.dir/logging.cc.o.d"
+  "CMakeFiles/madnet_util.dir/random.cc.o"
+  "CMakeFiles/madnet_util.dir/random.cc.o.d"
+  "CMakeFiles/madnet_util.dir/string_util.cc.o"
+  "CMakeFiles/madnet_util.dir/string_util.cc.o.d"
+  "CMakeFiles/madnet_util.dir/table.cc.o"
+  "CMakeFiles/madnet_util.dir/table.cc.o.d"
+  "libmadnet_util.a"
+  "libmadnet_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/madnet_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

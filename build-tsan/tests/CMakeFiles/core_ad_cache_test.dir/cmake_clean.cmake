@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_ad_cache_test.dir/core_ad_cache_test.cc.o"
+  "CMakeFiles/core_ad_cache_test.dir/core_ad_cache_test.cc.o.d"
+  "core_ad_cache_test"
+  "core_ad_cache_test.pdb"
+  "core_ad_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_ad_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_advertisement_test.dir/core_advertisement_test.cc.o"
+  "CMakeFiles/core_advertisement_test.dir/core_advertisement_test.cc.o.d"
+  "core_advertisement_test"
+  "core_advertisement_test.pdb"
+  "core_advertisement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_advertisement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

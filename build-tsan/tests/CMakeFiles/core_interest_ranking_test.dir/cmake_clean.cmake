@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_interest_ranking_test.dir/core_interest_ranking_test.cc.o"
+  "CMakeFiles/core_interest_ranking_test.dir/core_interest_ranking_test.cc.o.d"
+  "core_interest_ranking_test"
+  "core_interest_ranking_test.pdb"
+  "core_interest_ranking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_interest_ranking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

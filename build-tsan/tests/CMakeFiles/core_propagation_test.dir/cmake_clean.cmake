@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_propagation_test.dir/core_propagation_test.cc.o"
+  "CMakeFiles/core_propagation_test.dir/core_propagation_test.cc.o.d"
+  "core_propagation_test"
+  "core_propagation_test.pdb"
+  "core_propagation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_propagation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_resource_exchange_test.dir/core_resource_exchange_test.cc.o"
+  "CMakeFiles/core_resource_exchange_test.dir/core_resource_exchange_test.cc.o.d"
+  "core_resource_exchange_test"
+  "core_resource_exchange_test.pdb"
+  "core_resource_exchange_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_resource_exchange_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_hotspot_test.dir/mobility_hotspot_test.cc.o"
+  "CMakeFiles/mobility_hotspot_test.dir/mobility_hotspot_test.cc.o.d"
+  "mobility_hotspot_test"
+  "mobility_hotspot_test.pdb"
+  "mobility_hotspot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_hotspot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

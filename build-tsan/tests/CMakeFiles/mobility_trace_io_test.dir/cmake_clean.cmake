@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_trace_io_test.dir/mobility_trace_io_test.cc.o"
+  "CMakeFiles/mobility_trace_io_test.dir/mobility_trace_io_test.cc.o.d"
+  "mobility_trace_io_test"
+  "mobility_trace_io_test.pdb"
+  "mobility_trace_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_trace_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

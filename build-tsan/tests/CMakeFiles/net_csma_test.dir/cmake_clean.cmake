@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_csma_test.dir/net_csma_test.cc.o"
+  "CMakeFiles/net_csma_test.dir/net_csma_test.cc.o.d"
+  "net_csma_test"
+  "net_csma_test.pdb"
+  "net_csma_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_csma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

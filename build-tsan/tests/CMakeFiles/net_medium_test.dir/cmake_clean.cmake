@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_medium_test.dir/net_medium_test.cc.o"
+  "CMakeFiles/net_medium_test.dir/net_medium_test.cc.o.d"
+  "net_medium_test"
+  "net_medium_test.pdb"
+  "net_medium_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_medium_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_spatial_index_test.dir/net_spatial_index_test.cc.o"
+  "CMakeFiles/net_spatial_index_test.dir/net_spatial_index_test.cc.o.d"
+  "net_spatial_index_test"
+  "net_spatial_index_test.pdb"
+  "net_spatial_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_spatial_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

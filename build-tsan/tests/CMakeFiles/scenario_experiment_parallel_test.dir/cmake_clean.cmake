@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_experiment_parallel_test.dir/scenario_experiment_parallel_test.cc.o"
+  "CMakeFiles/scenario_experiment_parallel_test.dir/scenario_experiment_parallel_test.cc.o.d"
+  "scenario_experiment_parallel_test"
+  "scenario_experiment_parallel_test.pdb"
+  "scenario_experiment_parallel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_experiment_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

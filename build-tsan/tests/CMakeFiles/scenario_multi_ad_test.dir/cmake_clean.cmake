@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_multi_ad_test.dir/scenario_multi_ad_test.cc.o"
+  "CMakeFiles/scenario_multi_ad_test.dir/scenario_multi_ad_test.cc.o.d"
+  "scenario_multi_ad_test"
+  "scenario_multi_ad_test.pdb"
+  "scenario_multi_ad_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_multi_ad_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_connectivity_test.dir/stats_connectivity_test.cc.o"
+  "CMakeFiles/stats_connectivity_test.dir/stats_connectivity_test.cc.o.d"
+  "stats_connectivity_test"
+  "stats_connectivity_test.pdb"
+  "stats_connectivity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_connectivity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_timeseries_test.dir/stats_timeseries_test.cc.o"
+  "CMakeFiles/stats_timeseries_test.dir/stats_timeseries_test.cc.o.d"
+  "stats_timeseries_test"
+  "stats_timeseries_test.pdb"
+  "stats_timeseries_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_timeseries_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_geometry_test.dir/util_geometry_test.cc.o"
+  "CMakeFiles/util_geometry_test.dir/util_geometry_test.cc.o.d"
+  "util_geometry_test"
+  "util_geometry_test.pdb"
+  "util_geometry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_geometry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

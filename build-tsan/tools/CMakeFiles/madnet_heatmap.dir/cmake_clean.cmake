@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/madnet_heatmap.dir/madnet_heatmap.cc.o"
+  "CMakeFiles/madnet_heatmap.dir/madnet_heatmap.cc.o.d"
+  "madnet_heatmap"
+  "madnet_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/madnet_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

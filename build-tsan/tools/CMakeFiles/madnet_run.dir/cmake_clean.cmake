@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/madnet_run.dir/madnet_run.cc.o"
+  "CMakeFiles/madnet_run.dir/madnet_run.cc.o.d"
+  "madnet_run"
+  "madnet_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/madnet_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
