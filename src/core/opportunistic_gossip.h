@@ -99,7 +99,7 @@ class OpportunisticGossip : public Protocol {
   /// Issues a new ad: inserts it into the local cache and broadcasts it
   /// once. The issuer may go offline afterwards; the network maintains the
   /// ad from here on.
-  StatusOr<AdId> Issue(const AdContent& content, double radius_m,
+  [[nodiscard]] StatusOr<AdId> Issue(const AdContent& content, double radius_m,
                        double duration_s) override;
 
   /// Read access for tests and examples.

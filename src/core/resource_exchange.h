@@ -58,7 +58,7 @@ class ResourceExchange : public Protocol {
   void Start() override;
 
   /// Issues a new resource: inserts it locally; it spreads via encounters.
-  StatusOr<AdId> Issue(const AdContent& content, double radius_m,
+  [[nodiscard]] StatusOr<AdId> Issue(const AdContent& content, double radius_m,
                        double duration_s) override;
 
   /// Relevance of `ad` for a peer at `position` at time `now` (linear

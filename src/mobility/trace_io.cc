@@ -16,6 +16,7 @@ constexpr char kMagic[] = "madnet-trace";
 constexpr int kVersion = 1;
 }  // namespace
 
+[[nodiscard]]
 Status SaveTraces(const std::string& path, const TraceSet& traces) {
   std::ofstream out(path, std::ios::trunc);
   if (!out.good()) return Status::IoError("cannot open " + path);
@@ -36,7 +37,7 @@ Status SaveTraces(const std::string& path, const TraceSet& traces) {
   return Status::Ok();
 }
 
-StatusOr<TraceSet> LoadTraces(const std::string& path) {
+[[nodiscard]] StatusOr<TraceSet> LoadTraces(const std::string& path) {
   std::ifstream in(path);
   if (!in.good()) return Status::IoError("cannot open " + path);
 
@@ -93,6 +94,7 @@ StatusOr<TraceSet> LoadTraces(const std::string& path) {
   return traces;
 }
 
+[[nodiscard]]
 Status SaveNs2Movements(const std::string& path, const TraceSet& traces) {
   std::ofstream out(path, std::ios::trunc);
   if (!out.good()) return Status::IoError("cannot open " + path);

@@ -3,10 +3,10 @@
 #include "net/medium.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
-#include <cassert>
-#include <cmath>
+#include "util/logging.h"
 
 namespace madnet::net {
 
@@ -15,11 +15,13 @@ Medium::Medium(const Options& options, Simulator* simulator, Rng rng)
       simulator_(simulator),
       rng_(rng),
       index_(options.range_m > 0.0 ? options.range_m : 1.0) {
-  assert(simulator != nullptr);
-  assert(options.range_m > 0.0);
-  assert(options.max_latency_s >= options.min_latency_s &&
-         options.min_latency_s >= 0.0);
-  assert(options.loss_probability >= 0.0 && options.loss_probability <= 1.0);
+  MADNET_DCHECK(simulator != nullptr);
+  MADNET_DCHECK(options.range_m > 0.0 && std::isfinite(options.range_m));
+  MADNET_DCHECK(options.max_latency_s >= options.min_latency_s &&
+                options.min_latency_s >= 0.0);
+  MADNET_DCHECK(options.loss_probability >= 0.0 &&
+                options.loss_probability <= 1.0);
+  MADNET_DCHECK(options.fading_exponent >= 0.0);
 }
 
 Status Medium::AddNode(NodeId id, MobilityModel* mobility) {
@@ -77,13 +79,13 @@ bool Medium::IsOnline(NodeId id) const {
 
 Vec2 Medium::PositionOf(NodeId id) const {
   const uint32_t index = IndexOf(id);
-  assert(index != kNotFound && "PositionOf on unknown node");
+  MADNET_DCHECK(index != kNotFound);  // PositionOf on unknown node.
   return states_[index].mobility->PositionAt(simulator_->Now());
 }
 
 Vec2 Medium::VelocityOf(NodeId id) const {
   const uint32_t index = IndexOf(id);
-  assert(index != kNotFound && "VelocityOf on unknown node");
+  MADNET_DCHECK(index != kNotFound);  // VelocityOf on unknown node.
   return states_[index].mobility->VelocityAt(simulator_->Now());
 }
 
@@ -104,11 +106,14 @@ double Medium::RefreshIndex() const {
   // Indexed positions are up to (now - index_time_) old; both endpoints of a
   // distance check may each have moved max_speed * staleness, so a query
   // enlarged by twice that is a guaranteed superset.
+  MADNET_DCHECK_GE(simulator_->Now(), index_time_);  // Slack must be >= 0.
   return 2.0 * options_.max_speed_mps * (simulator_->Now() - index_time_);
 }
 
 const std::vector<uint32_t>& Medium::NeighborIndicesOf(const Vec2& center,
                                                        double radius) const {
+  MADNET_DCHECK(radius >= 0.0 && std::isfinite(radius));
+  MADNET_DCHECK(std::isfinite(center.x) && std::isfinite(center.y));
   const double slack = RefreshIndex();
   candidate_scratch_.clear();
   index_.QueryRange(center, radius + slack, &candidate_scratch_);
@@ -118,6 +123,7 @@ const std::vector<uint32_t>& Medium::NeighborIndicesOf(const Vec2& center,
   neighbor_scratch_.clear();
   for (NodeId candidate : candidate_scratch_) {
     const uint32_t index = static_cast<uint32_t>(candidate);
+    MADNET_DCHECK_LT(index, states_.size());  // Index stores dense indices.
     const NodeState& state = states_[index];
     if (!state.online) continue;
     if (DistanceSquared(state.mobility->PositionAt(now), center) <= r2) {
@@ -180,6 +186,8 @@ Status Medium::Broadcast(NodeId from, const Packet& packet) {
     }
     const double latency =
         rng_.Uniform(options_.min_latency_s, options_.max_latency_s);
+    MADNET_DCHECK(latency >= options_.min_latency_s &&
+                  latency <= options_.max_latency_s);
     if (!shared) shared = std::make_shared<const Packet>(packet);
     simulator_->Schedule(latency, [this, from, to, shared]() {
       DeliverTo(to, from, *shared);

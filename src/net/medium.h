@@ -103,14 +103,14 @@ class Medium {
 
   /// Registers a node with its mobility model (borrowed; must outlive the
   /// medium). Returns AlreadyExists if the id is taken.
-  Status AddNode(NodeId id, MobilityModel* mobility);
+  [[nodiscard]] Status AddNode(NodeId id, MobilityModel* mobility);
 
   /// Sets the upcall invoked when `id` receives a packet.
-  Status SetReceiver(NodeId id, ReceiveHandler handler);
+  [[nodiscard]] Status SetReceiver(NodeId id, ReceiveHandler handler);
 
   /// Marks a node on/off-line. Offline nodes neither send nor receive
   /// (the paper's issuer "goes off-line" after seeding the ad).
-  Status SetOnline(NodeId id, bool online);
+  [[nodiscard]] Status SetOnline(NodeId id, bool online);
 
   /// True iff the node exists and is online.
   bool IsOnline(NodeId id) const;
@@ -120,7 +120,7 @@ class Medium {
   /// actually transmits; a frame that exhausts its MAC retries is counted
   /// in dropped_mac_busy instead). Returns FailedPrecondition if the
   /// sender is offline, NotFound if it was never added.
-  Status Broadcast(NodeId from, const Packet& packet);
+  [[nodiscard]] Status Broadcast(NodeId from, const Packet& packet);
 
   /// Current position of a node (exact, from its mobility model).
   Vec2 PositionOf(NodeId id) const;

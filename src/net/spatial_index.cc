@@ -2,13 +2,14 @@
 
 #include "net/spatial_index.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "util/logging.h"
 
 namespace madnet::net {
 
 SpatialIndex::SpatialIndex(double cell_size) : cell_size_(cell_size) {
-  assert(cell_size > 0.0);
+  MADNET_DCHECK(cell_size > 0.0 && std::isfinite(cell_size));
 }
 
 SpatialIndex::CellKey SpatialIndex::KeyFor(const Vec2& p) const {
@@ -25,6 +26,9 @@ void SpatialIndex::Rebuild(
   ++generation_;
   count_ = positions.size();
   for (const auto& [id, position] : positions) {
+    // Non-finite coordinates would land in a garbage cell and silently
+    // vanish from every range query.
+    MADNET_DCHECK(std::isfinite(position.x) && std::isfinite(position.y));
     Cell& cell = cells_[KeyFor(position)];
     if (cell.generation != generation_) {
       cell.generation = generation_;
@@ -36,7 +40,7 @@ void SpatialIndex::Rebuild(
 
 void SpatialIndex::QueryRange(const Vec2& center, double radius,
                               std::vector<NodeId>* out) const {
-  assert(radius >= 0.0);
+  MADNET_DCHECK(radius >= 0.0 && std::isfinite(radius));
   const double r2 = radius * radius;
   const CellKey lo = KeyFor({center.x - radius, center.y - radius});
   const CellKey hi = KeyFor({center.x + radius, center.y + radius});
@@ -47,6 +51,9 @@ void SpatialIndex::QueryRange(const Vec2& center, double radius,
         continue;
       }
       for (const Point& point : it->second.points) {
+        // Cell-membership consistency: a live point must hash back to the
+        // bucket it is stored in (catches cell_size_ or generation bugs).
+        MADNET_DCHECK(KeyFor(point.position) == it->first);
         if (DistanceSquared(point.position, center) <= r2) {
           out->push_back(point.id);
         }

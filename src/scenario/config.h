@@ -110,7 +110,7 @@ struct ScenarioConfig {
 
   /// Checks cross-field consistency (positive sizes, speed bounds, medium
   /// max speed covering mobility speeds, ...).
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 };
 
 }  // namespace madnet::scenario

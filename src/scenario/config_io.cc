@@ -12,7 +12,7 @@ namespace madnet::scenario {
 
 namespace {
 
-Status ParseMethodName(const std::string& name, Method* out) {
+[[nodiscard]] Status ParseMethodName(const std::string& name, Method* out) {
   if (name == "flooding") *out = Method::kFlooding;
   else if (name == "gossip") *out = Method::kGossip;
   else if (name == "optimized1") *out = Method::kOptimized1;
@@ -23,7 +23,7 @@ Status ParseMethodName(const std::string& name, Method* out) {
   return Status::Ok();
 }
 
-Status ParseMobilityName(const std::string& name, Mobility* out) {
+[[nodiscard]] Status ParseMobilityName(const std::string& name, Mobility* out) {
   if (name == "waypoint") *out = Mobility::kRandomWaypoint;
   else if (name == "manhattan") *out = Mobility::kManhattanGrid;
   else if (name == "hotspot") *out = Mobility::kHotspot;
@@ -54,6 +54,7 @@ const char* MobilityToken(Mobility mobility) {
 
 }  // namespace
 
+[[nodiscard]]
 Status ApplyConfigKey(const std::string& key, const std::string& value,
                       ScenarioConfig* config) {
   auto as_double = [&](double* field) -> Status {
@@ -139,6 +140,7 @@ Status ApplyConfigKey(const std::string& key, const std::string& value,
   return Status::InvalidArgument("unknown config key '" + key + "'");
 }
 
+[[nodiscard]]
 Status LoadConfigFile(const std::string& path, ScenarioConfig* config) {
   std::ifstream in(path);
   if (!in.good()) return Status::IoError("cannot open " + path);

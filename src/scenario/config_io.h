@@ -26,11 +26,13 @@ namespace madnet::scenario {
 /// names (method, mobility, peers, area, radius, duration, sim_time,
 /// issue_time, speed, speed_delta, round, alpha, beta, dis, cache, range,
 /// loss, collisions, csma, ranking, issuer_offline, seed).
+[[nodiscard]]
 Status ApplyConfigKey(const std::string& key, const std::string& value,
                       ScenarioConfig* config);
 
 /// Loads a config file on top of `*config` (which supplies defaults for
 /// unmentioned keys). The result is validated before returning.
+[[nodiscard]]
 Status LoadConfigFile(const std::string& path, ScenarioConfig* config);
 
 /// Serializes the settable keys of a config in the same format.

@@ -2,16 +2,16 @@
 
 #include "scenario/experiment.h"
 
-#include <cassert>
 #include <vector>
 
 #include "exec/parallel_for.h"
+#include "util/logging.h"
 
 namespace madnet::scenario {
 
 Aggregate RunReplicated(const ScenarioConfig& base, int replications,
                         int jobs) {
-  assert(replications >= 1);
+  MADNET_DCHECK_GE(replications, 1);
 
   // Each replication is a self-contained simulation (own Simulator, Medium
   // and RNG stream derived from its seed), so seeds can run concurrently
@@ -26,6 +26,8 @@ Aggregate RunReplicated(const ScenarioConfig& base, int replications,
 
   // Merge strictly in seed order: Summary::Add sequences are then the same
   // as the serial path's, so aggregates are bit-identical for any jobs.
+  // Precondition: every seed-indexed slot was filled by exactly one worker.
+  MADNET_DCHECK_EQ(results.size(), static_cast<size_t>(replications));
   Aggregate aggregate;
   for (const RunResult& result : results) {
     aggregate.delivery_rate_percent.Add(result.DeliveryRatePercent());

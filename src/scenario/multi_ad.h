@@ -35,7 +35,7 @@ struct MultiAdConfig {
   double border_margin_m = 600.0;
 
   /// Cross-field validation.
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 };
 
 /// Per-ad and aggregate results of a multi-ad run.

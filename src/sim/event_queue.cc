@@ -3,12 +3,15 @@
 #include "sim/event_queue.h"
 
 #include <algorithm>
-#include <cassert>
 #include <utility>
+
+#include "util/logging.h"
 
 namespace madnet::sim {
 
 EventId EventQueue::Push(Time when, Callback callback) {
+  MADNET_DCHECK(when == when);  // NaN keys would corrupt the heap order.
+  MADNET_DCHECK(callback != nullptr);
   const EventId id = next_seq_++;
   uint32_t slot;
   if (!free_slots_.empty()) {
@@ -38,6 +41,8 @@ bool EventQueue::Cancel(EventId id) {
 }
 
 EventQueue::Callback EventQueue::TakeSlot(uint32_t slot) {
+  MADNET_DCHECK_LT(slot, slots_.size());
+  MADNET_DCHECK(slots_[slot] != nullptr);  // Double-free of a slot.
   Callback callback = std::move(slots_[slot]);
   slots_[slot] = nullptr;
   free_slots_.push_back(slot);
@@ -56,14 +61,20 @@ void EventQueue::SkipTombstones() {
 
 Time EventQueue::NextTime() {
   SkipTombstones();
-  assert(!heap_.empty() && "NextTime() on an empty queue");
+  MADNET_DCHECK(!heap_.empty());  // NextTime() on an empty queue.
   return heap_.top().when;
 }
 
 std::pair<Time, EventQueue::Callback> EventQueue::Pop() {
   SkipTombstones();
-  assert(!heap_.empty() && "Pop() on an empty queue");
+  MADNET_DCHECK(!heap_.empty());  // Pop() on an empty queue.
   const Entry top = heap_.top();  // Trivially copyable.
+  // Heap integrity: extraction order is non-decreasing in time, and the
+  // entry leaving the heap must still be pending (tombstones were reaped by
+  // SkipTombstones above, and ids never re-enter the heap).
+  MADNET_DCHECK_GE(top.when, last_pop_time_);
+  MADNET_DCHECK_EQ(state_[top.seq - 1], kPending);
+  last_pop_time_ = top.when;
   heap_.pop();
   state_[top.seq - 1] = kDone;
   --live_count_;
@@ -78,6 +89,7 @@ void EventQueue::Clear() {
   // nor linger); ids keep growing across Clear so old handles stay dead.
   std::fill(state_.begin(), state_.end(), kDone);
   live_count_ = 0;
+  last_pop_time_ = std::numeric_limits<Time>::lowest();
 }
 
 }  // namespace madnet::sim

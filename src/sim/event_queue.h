@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <queue>
 #include <vector>
 
@@ -94,6 +95,9 @@ class EventQueue {
   std::vector<uint8_t> state_;        // Per-id lifecycle, indexed by id - 1.
   uint64_t next_seq_ = 1;  // 0 is kInvalidEventId.
   size_t live_count_ = 0;
+  // Timestamp of the most recent Pop; Pop DCHECKs that extraction times
+  // never move backwards (heap-integrity invariant).
+  Time last_pop_time_ = std::numeric_limits<Time>::lowest();
 };
 
 }  // namespace madnet::sim

@@ -2,23 +2,27 @@
 
 #include "sketch/fm_sketch.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "util/logging.h"
 
 namespace madnet::sketch {
 
 FmSketch::FmSketch(int length_bits) : length_bits_(length_bits) {
-  assert(length_bits >= 1 && length_bits <= 64);
+  MADNET_DCHECK(length_bits >= 1 && length_bits <= 64);
 }
 
 void FmSketch::AddHash(uint64_t hash) {
   int rho = LowestSetBit(hash);
   if (rho >= length_bits_) rho = length_bits_ - 1;
+  // Bucket bound: the clamped bit position must land inside the bitmap,
+  // or the OR below would silently widen the sketch.
+  MADNET_DCHECK(rho >= 0 && rho < length_bits_);
   bits_ |= uint64_t{1} << rho;
 }
 
 bool FmSketch::TestBit(int i) const {
-  assert(i >= 0 && i < length_bits_);
+  MADNET_DCHECK(i >= 0 && i < length_bits_);
   return (bits_ >> i) & 1;
 }
 
@@ -60,7 +64,7 @@ std::string FmSketch::ToString() const {
 }
 
 FmSketchArray::FmSketchArray(const Options& options) : options_(options) {
-  assert(options.num_sketches >= 1);
+  MADNET_DCHECK_GE(options.num_sketches, 1);
   hashes_.reserve(options.num_sketches);
   sketches_.reserve(options.num_sketches);
   for (int i = 0; i < options.num_sketches; ++i) {
@@ -72,6 +76,7 @@ FmSketchArray::FmSketchArray(const Options& options) : options_(options) {
 }
 
 void FmSketchArray::AddUser(uint64_t user_id) {
+  MADNET_DCHECK_EQ(hashes_.size(), sketches_.size());
   for (size_t i = 0; i < sketches_.size(); ++i) {
     sketches_[i].AddHash(hashes_[i](user_id));
   }
@@ -137,7 +142,7 @@ bool FmSketchArray::operator==(const FmSketchArray& other) const {
 
 int FmSketchArray::RecommendedLength(uint64_t max_n, int num_sketches,
                                      double delta) {
-  assert(max_n >= 1 && num_sketches >= 1 && delta > 0.0 && delta < 1.0);
+  MADNET_DCHECK(max_n >= 1 && num_sketches >= 1 && delta > 0.0 && delta < 1.0);
   const double bits = std::log2(static_cast<double>(max_n)) +
                       std::log2(static_cast<double>(num_sketches)) +
                       std::log2(1.0 / delta);

@@ -18,6 +18,7 @@
 #define MADNET_STATS_DELIVERY_H_
 
 #include <cstdint>
+#include <map>
 #include <unordered_map>
 #include <vector>
 
@@ -72,10 +73,11 @@ class AreaTracker {
   /// Number of peers observed.
   size_t ObservedCount() const { return transits_.size(); }
 
-  /// All observed transits, keyed by peer.
-  const std::unordered_map<NodeId, Transit>& transits() const {
-    return transits_;
-  }
+  /// All observed transits, keyed by peer, in ascending id order.
+  /// Ordered on purpose: ComputeDeliveryReport folds floating-point sums
+  /// over this map, and aggregation paths must iterate deterministically
+  /// (see docs/STATIC_ANALYSIS.md, rule madnet-unordered-iteration).
+  const std::map<NodeId, Transit>& transits() const { return transits_; }
 
   const Circle& area() const { return area_; }
   Time window_start() const { return window_start_; }
@@ -85,7 +87,7 @@ class AreaTracker {
   Circle area_;
   Time window_start_;
   Time window_end_;
-  std::unordered_map<NodeId, Transit> transits_;
+  std::map<NodeId, Transit> transits_;
   size_t passed_count_ = 0;
 };
 
@@ -102,6 +104,8 @@ class DeliveryLog {
   size_t ReceiverCount(AdKey ad) const;
 
  private:
+  // Point-queried only (find/size, never iterated), so hashing is safe
+  // here and keeps RecordReceipt O(1) on the per-delivery hot path.
   std::unordered_map<AdKey, std::unordered_map<NodeId, Time>> first_receipt_;
 };
 

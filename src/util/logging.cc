@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 
 namespace madnet {
 
@@ -35,4 +36,15 @@ void Logger::Log(LogLevel level, const char* format, ...) {
   std::fprintf(stderr, "[%s] %s\n", LevelName(level), buf);
 }
 
+namespace internal {
+
+void DcheckFail(const char* file, int line, const char* expr) {
+  // Unbuffered direct write: the process is about to abort, so the message
+  // must not sit in a stdio buffer.
+  std::fprintf(stderr, "%s:%d: MADNET_DCHECK failed: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
 }  // namespace madnet

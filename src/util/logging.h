@@ -2,6 +2,11 @@
 //
 // Minimal leveled logging. Simulation hot paths should log at kDebug, which
 // compiles to a cheap runtime check; experiment harnesses use kInfo.
+//
+// Also home of MADNET_DCHECK, the debug-only invariant check used throughout
+// the simulator's hot subsystems (event queue, medium, spatial index,
+// sketches, experiment merge). See docs/STATIC_ANALYSIS.md for the policy on
+// what belongs in a DCHECK versus a Status error.
 
 #ifndef MADNET_UTIL_LOGGING_H_
 #define MADNET_UTIL_LOGGING_H_
@@ -28,7 +33,54 @@ class Logger {
       __attribute__((format(printf, 2, 3)));
 };
 
+namespace internal {
+
+/// Reports a failed MADNET_DCHECK ("file:line: MADNET_DCHECK failed: expr")
+/// to stderr and aborts the process. Never returns.
+[[noreturn]] void DcheckFail(const char* file, int line, const char* expr);
+
+}  // namespace internal
 }  // namespace madnet
+
+// MADNET_DCHECK(cond) — debug-only invariant check for programming errors
+// that cannot be triggered by bad input (those get a Status instead). Active
+// when MADNET_DCHECK_ASSERTS is nonzero; by default that follows NDEBUG, so
+// Release benchmarks pay nothing. Build with -DMADNET_DCHECK_ASSERTS=1 (or
+// cmake -DMADNET_FORCE_DCHECKS=ON) to keep the checks in optimized builds,
+// e.g. for the sanitizer CI legs.
+#ifndef MADNET_DCHECK_ASSERTS
+#ifdef NDEBUG
+#define MADNET_DCHECK_ASSERTS 0
+#else
+#define MADNET_DCHECK_ASSERTS 1
+#endif
+#endif
+
+#if MADNET_DCHECK_ASSERTS
+#define MADNET_DCHECK(cond)                                     \
+  do {                                                          \
+    if (!(cond)) {                                              \
+      ::madnet::internal::DcheckFail(__FILE__, __LINE__, #cond); \
+    }                                                           \
+  } while (0)
+#else
+// Compiled out, but keeps the condition syntactically checked and marks
+// variables as used so Release builds don't grow -Wunused warnings.
+#define MADNET_DCHECK(cond)             \
+  do {                                  \
+    if (false && (cond)) { /* no-op */  \
+    }                                   \
+  } while (0)
+#endif
+
+// Binary-comparison sugar; expands the operands into the failure message's
+// expression text.
+#define MADNET_DCHECK_EQ(a, b) MADNET_DCHECK((a) == (b))
+#define MADNET_DCHECK_NE(a, b) MADNET_DCHECK((a) != (b))
+#define MADNET_DCHECK_LT(a, b) MADNET_DCHECK((a) < (b))
+#define MADNET_DCHECK_LE(a, b) MADNET_DCHECK((a) <= (b))
+#define MADNET_DCHECK_GT(a, b) MADNET_DCHECK((a) > (b))
+#define MADNET_DCHECK_GE(a, b) MADNET_DCHECK((a) >= (b))
 
 #define MADNET_LOG_DEBUG(...) \
   ::madnet::Logger::Log(::madnet::LogLevel::kDebug, __VA_ARGS__)

@@ -46,7 +46,7 @@ bool StartsWith(std::string_view text, std::string_view prefix) {
          text.substr(0, prefix.size()) == prefix;
 }
 
-StatusOr<double> ParseDouble(std::string_view text) {
+[[nodiscard]] StatusOr<double> ParseDouble(std::string_view text) {
   if (text.empty()) return Status::InvalidArgument("empty number");
   std::string owned(text);
   errno = 0;
@@ -59,7 +59,7 @@ StatusOr<double> ParseDouble(std::string_view text) {
   return value;
 }
 
-StatusOr<int64_t> ParseInt(std::string_view text) {
+[[nodiscard]] StatusOr<int64_t> ParseInt(std::string_view text) {
   if (text.empty()) return Status::InvalidArgument("empty integer");
   std::string owned(text);
   errno = 0;
@@ -72,7 +72,7 @@ StatusOr<int64_t> ParseInt(std::string_view text) {
   return static_cast<int64_t>(value);
 }
 
-StatusOr<bool> ParseBool(std::string_view text) {
+[[nodiscard]] StatusOr<bool> ParseBool(std::string_view text) {
   if (text == "true" || text == "1" || text == "yes" || text == "on") {
     return true;
   }

@@ -2,9 +2,12 @@
 
 #include "sim/event_queue.h"
 
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "util/logging.h"
 
 namespace madnet::sim {
 namespace {
@@ -116,6 +119,31 @@ TEST(EventQueueTest, ManyCancellationsInterleaved) {
   while (!queue.Empty()) queue.Pop().second();
   ASSERT_EQ(ran.size(), 50u);
   for (size_t j = 0; j < ran.size(); ++j) EXPECT_EQ(ran[j] % 2, 0);
+}
+
+// The debug-invariant layer: popping an empty queue and NaN event times are
+// programming errors that MADNET_DCHECK turns into aborts (active in debug
+// and MADNET_FORCE_DCHECKS builds; compiled out in plain Release, where
+// these tests skip).
+TEST(EventQueueDeathTest, PopOnEmptyQueueDchecks) {
+#if MADNET_DCHECK_ASSERTS
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EventQueue queue;
+  EXPECT_DEATH(queue.Pop(), "MADNET_DCHECK failed");
+#else
+  GTEST_SKIP() << "MADNET_DCHECK compiled out (NDEBUG build)";
+#endif
+}
+
+TEST(EventQueueDeathTest, NanEventTimeDchecks) {
+#if MADNET_DCHECK_ASSERTS
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EventQueue queue;
+  const Time nan = std::numeric_limits<Time>::quiet_NaN();
+  EXPECT_DEATH(queue.Push(nan, [] {}), "MADNET_DCHECK failed");
+#else
+  GTEST_SKIP() << "MADNET_DCHECK compiled out (NDEBUG build)";
+#endif
 }
 
 }  // namespace

@@ -1,0 +1,349 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+//
+// Drives the madnet_lint rule engine against embedded good/bad fixtures.
+// Every rule has at least one positive (violation detected) and one
+// negative (clean code passes) case, plus coverage of the NOLINT
+// suppression syntax and the comment/string preprocessor.
+
+#include "lint_rules.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace madnet::lint {
+namespace {
+
+bool HasRule(const std::vector<Diagnostic>& diagnostics,
+             const std::string& rule) {
+  return std::any_of(diagnostics.begin(), diagnostics.end(),
+                     [&](const Diagnostic& d) { return d.rule == rule; });
+}
+
+int LineOf(const std::vector<Diagnostic>& diagnostics,
+           const std::string& rule) {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.rule == rule) return d.line;
+  }
+  return -1;
+}
+
+// --------------------------------------------------------------------------
+// madnet-rand
+
+TEST(MadnetLintTest, FlagsStdRand) {
+  const auto diags = LintFile("src/core/foo.cc",
+                              "int Roll() {\n"
+                              "  return std::rand() % 6;\n"
+                              "}\n");
+  ASSERT_TRUE(HasRule(diags, "madnet-rand"));
+  EXPECT_EQ(LineOf(diags, "madnet-rand"), 2);
+}
+
+TEST(MadnetLintTest, FlagsSrand) {
+  const auto diags =
+      LintFile("bench/foo.cc", "void Seed() { srand(42); }\n");
+  EXPECT_TRUE(HasRule(diags, "madnet-rand"));
+}
+
+TEST(MadnetLintTest, AcceptsSeededMadnetRng) {
+  const auto diags = LintFile("src/core/foo.cc",
+                              "double Draw(Rng* rng) {\n"
+                              "  return rng->NextDouble();\n"
+                              "}\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+// --------------------------------------------------------------------------
+// madnet-wallclock
+
+TEST(MadnetLintTest, FlagsTimeNullptr) {
+  const auto diags =
+      LintFile("src/sim/foo.cc", "uint64_t seed = time(nullptr);\n");
+  EXPECT_TRUE(HasRule(diags, "madnet-wallclock"));
+}
+
+TEST(MadnetLintTest, FlagsSystemClockInSrc) {
+  const auto diags = LintFile(
+      "src/scenario/foo.cc",
+      "auto t = std::chrono::system_clock::now();\n");
+  EXPECT_TRUE(HasRule(diags, "madnet-wallclock"));
+}
+
+TEST(MadnetLintTest, AcceptsSteadyClockInBench) {
+  const auto diags = LintFile(
+      "bench/foo.cc", "auto t = std::chrono::steady_clock::now();\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(MadnetLintTest, AcceptsIdentifiersContainingTime) {
+  // `_time(` and `Time(` are not the libc time() call.
+  const auto diags = LintFile("src/sim/foo.cc",
+                              "double sim_time(int step);\n"
+                              "Time NextTime();\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+// --------------------------------------------------------------------------
+// madnet-random-device
+
+TEST(MadnetLintTest, FlagsRandomDevice) {
+  const auto diags =
+      LintFile("src/core/foo.cc", "std::random_device rd;\n");
+  EXPECT_TRUE(HasRule(diags, "madnet-random-device"));
+}
+
+TEST(MadnetLintTest, AllowsRandomDeviceInUtilRandom) {
+  const auto diags =
+      LintFile("src/util/random.cc", "std::random_device rd;\n");
+  EXPECT_FALSE(HasRule(diags, "madnet-random-device"));
+}
+
+// --------------------------------------------------------------------------
+// madnet-unseeded-mt19937
+
+TEST(MadnetLintTest, FlagsDefaultConstructedMt19937) {
+  const auto diags = LintFile("examples/foo.cc",
+                              "std::mt19937 gen;\n"
+                              "std::mt19937_64 gen64{};\n");
+  ASSERT_TRUE(HasRule(diags, "madnet-unseeded-mt19937"));
+  EXPECT_EQ(LineOf(diags, "madnet-unseeded-mt19937"), 1);
+}
+
+TEST(MadnetLintTest, AcceptsSeededMt19937) {
+  const auto diags =
+      LintFile("examples/foo.cc", "std::mt19937 gen(config.seed);\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+// --------------------------------------------------------------------------
+// madnet-unordered-iteration
+
+TEST(MadnetLintTest, FlagsUnorderedIterationInAggregationPath) {
+  const auto diags = LintFile(
+      "src/stats/agg.cc",
+      "std::unordered_map<int, double> samples_;\n"
+      "double Sum() {\n"
+      "  double total = 0.0;\n"
+      "  for (const auto& [id, v] : samples_) total += v;\n"
+      "  return total;\n"
+      "}\n");
+  ASSERT_TRUE(HasRule(diags, "madnet-unordered-iteration"));
+  EXPECT_EQ(LineOf(diags, "madnet-unordered-iteration"), 4);
+}
+
+TEST(MadnetLintTest, ResolvesUnorderedAccessorAcrossFiles) {
+  // The container is declared in a header (via an accessor) and iterated
+  // in a different file — the cross-file pass must connect them.
+  Linter linter;
+  linter.AddFile("src/stats/tracker.h",
+                 "class Tracker {\n"
+                 " public:\n"
+                 "  const std::unordered_map<int, T>& transits() const;\n"
+                 "};\n");
+  linter.AddFile("src/stats/report.cc",
+                 "void Fold(const Tracker& tracker) {\n"
+                 "  for (const auto& [id, t] : tracker.transits()) Use(t);\n"
+                 "}\n");
+  const auto diags = linter.Run();
+  ASSERT_TRUE(HasRule(diags, "madnet-unordered-iteration"));
+  EXPECT_EQ(diags[0].file, "src/stats/report.cc");
+}
+
+TEST(MadnetLintTest, AcceptsUnorderedIterationOutsideAggregationPaths) {
+  // src/net is not an aggregation path; hash-order iteration is allowed.
+  const auto diags = LintFile(
+      "src/net/table.cc",
+      "std::unordered_map<int, double> samples_;\n"
+      "void Visit() {\n"
+      "  for (const auto& [id, v] : samples_) Use(v);\n"
+      "}\n");
+  EXPECT_FALSE(HasRule(diags, "madnet-unordered-iteration"));
+}
+
+TEST(MadnetLintTest, AcceptsUnorderedPointQueries) {
+  // find()/count() on an unordered container is deterministic; only
+  // iteration is banned.
+  const auto diags = LintFile(
+      "src/stats/log.cc",
+      "std::unordered_map<int, double> first_receipt_;\n"
+      "double At(int id) { return first_receipt_.find(id)->second; }\n");
+  EXPECT_FALSE(HasRule(diags, "madnet-unordered-iteration"));
+}
+
+// --------------------------------------------------------------------------
+// madnet-raw-new
+
+TEST(MadnetLintTest, FlagsRawNewAndDelete) {
+  const auto diags = LintFile("src/core/foo.cc",
+                              "int* Make() { return new int[4]; }\n"
+                              "void Free(int* p) { delete[] p; }\n");
+  ASSERT_TRUE(HasRule(diags, "madnet-raw-new"));
+  int count = 0;
+  for (const auto& d : diags) {
+    if (d.rule == "madnet-raw-new") ++count;
+  }
+  EXPECT_EQ(count, 2);
+}
+
+TEST(MadnetLintTest, AcceptsDeletedFunctionsAndSmartPointers) {
+  const auto diags = LintFile(
+      "src/core/foo.cc",
+      "struct Foo {\n"
+      "  Foo(const Foo&) = delete;\n"
+      "  Foo& operator=(const Foo&) = delete;\n"
+      "};\n"
+      "auto p = std::make_unique<int>(7);\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(MadnetLintTest, AcceptsNewInCommentsAndStrings) {
+  const auto diags = LintFile(
+      "src/core/foo.cc",
+      "// Inserts a new entry when the cache warms up.\n"
+      "const char* kMsg = \"allocate a new buffer\";\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+// --------------------------------------------------------------------------
+// madnet-nodiscard-status
+
+TEST(MadnetLintTest, FlagsStatusDeclWithoutNodiscard) {
+  const auto diags = LintFile("src/core/foo.h",
+                              "class Codec {\n"
+                              " public:\n"
+                              "  Status Encode(const Ad& ad);\n"
+                              "  static StatusOr<Ad> Decode(Buffer b);\n"
+                              "};\n");
+  int count = 0;
+  for (const auto& d : diags) {
+    if (d.rule == "madnet-nodiscard-status") ++count;
+  }
+  EXPECT_EQ(count, 2);
+}
+
+TEST(MadnetLintTest, AcceptsNodiscardStatusDecls) {
+  const auto diags = LintFile(
+      "src/core/foo.h",
+      "class Codec {\n"
+      " public:\n"
+      "  [[nodiscard]] Status Encode(const Ad& ad);\n"
+      "  [[nodiscard]]\n"
+      "  static StatusOr<Ad> Decode(Buffer b);\n"
+      "};\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(MadnetLintTest, SkipsOutOfLineStatusDefinitions) {
+  // The attribute belongs on the in-class declaration, not the definition.
+  const auto diags = LintFile(
+      "src/core/foo.cc",
+      "Status Codec::Encode(const Ad& ad) { return Status::Ok(); }\n");
+  EXPECT_FALSE(HasRule(diags, "madnet-nodiscard-status"));
+}
+
+// --------------------------------------------------------------------------
+// NOLINT suppressions (madnet-nolint)
+
+TEST(MadnetLintTest, NolintWithJustificationSuppresses) {
+  const auto diags = LintFile(
+      "src/core/foo.cc",
+      "int* p = new int;  // NOLINT(madnet-raw-new): arena owns this block\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(MadnetLintTest, NolintNextLineSuppresses) {
+  const auto diags = LintFile(
+      "src/core/foo.cc",
+      "// NOLINTNEXTLINE(madnet-raw-new): freed by the C callback contract\n"
+      "int* p = new int;\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(MadnetLintTest, NolintWithoutJustificationIsItselfAViolation) {
+  const auto diags = LintFile(
+      "src/core/foo.cc", "int* p = new int;  // NOLINT(madnet-raw-new)\n");
+  EXPECT_TRUE(HasRule(diags, "madnet-nolint"));
+  // And the suppression does not take effect.
+  EXPECT_TRUE(HasRule(diags, "madnet-raw-new"));
+}
+
+TEST(MadnetLintTest, NolintUnknownMadnetRuleIsFlagged) {
+  const auto diags = LintFile(
+      "src/core/foo.cc",
+      "int x = 1;  // NOLINT(madnet-no-such-rule): because reasons\n");
+  EXPECT_TRUE(HasRule(diags, "madnet-nolint"));
+}
+
+TEST(MadnetLintTest, NolintOnlySilencesTheNamedRule) {
+  const auto diags = LintFile(
+      "src/sim/foo.cc",
+      "uint64_t s = time(nullptr);  "
+      "// NOLINT(madnet-rand): wrong rule named\n");
+  EXPECT_TRUE(HasRule(diags, "madnet-wallclock"));
+}
+
+TEST(MadnetLintTest, NolintInStringLiteralIsNotADirective) {
+  const auto diags = LintFile(
+      "src/core/foo.cc",
+      "const char* kHint = \"use NOLINT(madnet-raw-new) here\";\n");
+  EXPECT_FALSE(HasRule(diags, "madnet-nolint"));
+}
+
+// --------------------------------------------------------------------------
+// Preprocessor (comment/string stripping)
+
+TEST(MadnetLintTest, StripPreservesLineStructure) {
+  const std::string code =
+      "int a; // new delete rand\n"
+      "const char* s = \"time(nullptr)\";\n"
+      "/* std::random_device\n"
+      "   spans lines */ int b;\n";
+  const std::string stripped = StripCommentsAndStrings(code);
+  EXPECT_EQ(std::count(code.begin(), code.end(), '\n'),
+            std::count(stripped.begin(), stripped.end(), '\n'));
+  EXPECT_EQ(stripped.find("rand"), std::string::npos);
+  EXPECT_EQ(stripped.find("time"), std::string::npos);
+  EXPECT_EQ(stripped.find("random_device"), std::string::npos);
+  EXPECT_NE(stripped.find("int a;"), std::string::npos);
+  EXPECT_NE(stripped.find("int b;"), std::string::npos);
+}
+
+TEST(MadnetLintTest, StripHandlesRawStringsAndDigitSeparators) {
+  const std::string code =
+      "const char* re = R\"(std::rand srand time(nullptr))\";\n"
+      "uint64_t big = 100'000'000ULL;\n";
+  const std::string stripped = StripCommentsAndStrings(code);
+  EXPECT_EQ(stripped.find("srand"), std::string::npos);
+  EXPECT_NE(stripped.find("100'000'000ULL"), std::string::npos);
+  // And the raw-string contents do not trip any rule.
+  EXPECT_TRUE(LintFile("src/core/foo.cc", code).empty());
+}
+
+// --------------------------------------------------------------------------
+// Engine plumbing
+
+TEST(MadnetLintTest, DiagnosticsAreSortedAndFormatted) {
+  const auto diags = LintFile("src/core/foo.cc",
+                              "void F() { delete g_p; }\n"
+                              "int* g_q = new int;\n");
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_LT(diags[0].line, diags[1].line);
+  EXPECT_EQ(ToString(diags[0]),
+            "src/core/foo.cc:1: error: [madnet-raw-new] raw 'delete': "
+            "ownership belongs in a smart pointer or container");
+}
+
+TEST(MadnetLintTest, RuleNamesListsEveryRule) {
+  const auto& names = RuleNames();
+  EXPECT_NE(std::find(names.begin(), names.end(), "madnet-wallclock"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "madnet-nodiscard-status"),
+            names.end());
+  EXPECT_EQ(names.size(), 8u);
+}
+
+}  // namespace
+}  // namespace madnet::lint

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# One-stop local gate: madnet_lint + clang-tidy (when installed) + tier-1
+# tests. Mirrors what CI runs, so a clean check.sh means a green PR.
+#
+# Usage: tools/check.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+echo "== configure (${BUILD_DIR}) =="
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+
+echo "== build =="
+cmake --build "${BUILD_DIR}" -j
+
+echo "== madnet_lint =="
+"./${BUILD_DIR}/tools/madnet_lint" --root .
+
+if command -v run-clang-tidy >/dev/null 2>&1 && \
+   command -v clang-tidy >/dev/null 2>&1; then
+  echo "== clang-tidy =="
+  # shellcheck disable=SC2046
+  run-clang-tidy -p "${BUILD_DIR}" -quiet $(git ls-files 'src/*.cc' 'tools/*.cc')
+else
+  echo "== clang-tidy: not installed, skipping (CI still runs it) =="
+fi
+
+echo "== tier-1 tests =="
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
+
+echo "check.sh: all gates passed"

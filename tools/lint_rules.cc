@@ -1,0 +1,561 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+
+#include "lint_rules.h"
+
+#include <algorithm>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace madnet::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Source preprocessing.
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) lines.push_back(current);
+  return lines;
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool Contains(const std::string& s, const std::string& needle) {
+  return s.find(needle) != std::string::npos;
+}
+
+// Per-character lexical classification used to derive both the
+// code-only view (rules) and the comment-only view (NOLINT suppressions).
+enum class CharClass : unsigned char { kCode, kComment, kLiteral };
+
+std::vector<CharClass> ClassifyChars(const std::string& content) {
+  std::vector<CharClass> classes(content.size(), CharClass::kCode);
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State state = State::kCode;
+  std::string raw_delim;  // ")delim" terminator of the active raw string.
+  size_t i = 0;
+  const size_t n = content.size();
+  while (i < n) {
+    const char c = content[i];
+    const char next = i + 1 < n ? content[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          classes[i] = classes[i + 1] = CharClass::kComment;
+          i += 2;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          classes[i] = classes[i + 1] = CharClass::kComment;
+          i += 2;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!isalnum(static_cast<unsigned char>(
+                                   content[i - 1])) &&
+                               content[i - 1] != '_'))) {
+          // Raw string literal: R"delim( ... )delim".
+          size_t paren = content.find('(', i + 2);
+          if (paren == std::string::npos) {
+            ++i;  // Malformed; treat as code.
+            break;
+          }
+          raw_delim = ")" + content.substr(i + 2, paren - i - 2) + "\"";
+          for (size_t j = i; j <= paren; ++j) classes[j] = CharClass::kLiteral;
+          i = paren + 1;
+          state = State::kRawString;
+        } else if (c == '"') {
+          state = State::kString;
+          classes[i] = CharClass::kLiteral;
+          ++i;
+        } else if (c == '\'') {
+          // A quote right after a digit is a C++14 digit separator
+          // (100'000), not a character literal.
+          if (i > 0 && isdigit(static_cast<unsigned char>(content[i - 1]))) {
+            ++i;
+          } else {
+            state = State::kChar;
+            classes[i] = CharClass::kLiteral;
+            ++i;
+          }
+        } else {
+          ++i;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          classes[i] = CharClass::kComment;
+        }
+        ++i;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          classes[i] = classes[i + 1] = CharClass::kComment;
+          i += 2;
+          state = State::kCode;
+        } else {
+          classes[i] = CharClass::kComment;
+          ++i;
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && i + 1 < n) {
+          classes[i] = classes[i + 1] = CharClass::kLiteral;
+          i += 2;
+        } else {
+          if (c == '"') state = State::kCode;
+          classes[i] = CharClass::kLiteral;
+          ++i;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && i + 1 < n) {
+          classes[i] = classes[i + 1] = CharClass::kLiteral;
+          i += 2;
+        } else {
+          if (c == '\'') state = State::kCode;
+          classes[i] = CharClass::kLiteral;
+          ++i;
+        }
+        break;
+      case State::kRawString:
+        if (content.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (size_t j = i; j < i + raw_delim.size(); ++j) {
+            classes[j] = CharClass::kLiteral;
+          }
+          i += raw_delim.size();
+          state = State::kCode;
+        } else {
+          classes[i] = CharClass::kLiteral;
+          ++i;
+        }
+        break;
+    }
+  }
+  return classes;
+}
+
+// Blanks every character whose class is not `keep` (newlines survive, so
+// line numbers are preserved).
+std::string KeepOnly(const std::string& content,
+                     const std::vector<CharClass>& classes, CharClass keep) {
+  std::string out = content;
+  for (size_t i = 0; i < content.size(); ++i) {
+    if (content[i] != '\n' && classes[i] != keep) out[i] = ' ';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string StripCommentsAndStrings(const std::string& content) {
+  return KeepOnly(content, ClassifyChars(content), CharClass::kCode);
+}
+
+namespace {
+
+// The comment-only view: NOLINT directives are only honoured (and only
+// policed) inside comments, so a string literal mentioning NOLINT — e.g.
+// in this linter's own sources — is not a directive.
+std::string ExtractComments(const std::string& content) {
+  return KeepOnly(content, ClassifyChars(content), CharClass::kComment);
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions.
+
+struct Suppressions {
+  // line (1-based) -> rules silenced on that line.
+  std::map<int, std::set<std::string>> by_line;
+  std::vector<Diagnostic> diagnostics;  // Malformed NOLINTs.
+};
+
+bool IsKnownRule(const std::string& rule) {
+  const auto& names = RuleNames();
+  return std::find(names.begin(), names.end(), rule) != names.end();
+}
+
+// Recognizes NOLINT(rule[,rule...]): justification  and the NEXTLINE form.
+// `comment_lines` is the comment-only view of the file.
+Suppressions CollectSuppressions(const std::string& path,
+                                 const std::vector<std::string>& comment_lines) {
+  static const std::regex kNolintRe(
+      "NOLINT(NEXTLINE)?\\(([A-Za-z0-9_,\\- ]*)\\)(:?)\\s*(.*)");
+  Suppressions result;
+  for (size_t idx = 0; idx < comment_lines.size(); ++idx) {
+    const int line = static_cast<int>(idx) + 1;
+    std::smatch match;
+    if (!std::regex_search(comment_lines[idx], match, kNolintRe)) continue;
+    const bool next_line = match[1].matched && match[1].length() > 0;
+    const std::string rule_list = match[2].str();
+    const bool has_colon = match[3].length() > 0;
+    const std::string justification = match[4].str();
+
+    if (!has_colon || justification.find_first_not_of(" \t") ==
+                          std::string::npos) {
+      result.diagnostics.push_back(
+          {path, line, "madnet-nolint",
+           "NOLINT requires a justification: "
+           "// NOLINT(madnet-<rule>): <why this is safe>"});
+      continue;
+    }
+    const int target = next_line ? line + 1 : line;
+    std::stringstream rules(rule_list);
+    std::string rule;
+    while (std::getline(rules, rule, ',')) {
+      const size_t begin = rule.find_first_not_of(" \t");
+      if (begin == std::string::npos) continue;
+      const size_t end = rule.find_last_not_of(" \t");
+      rule = rule.substr(begin, end - begin + 1);
+      if (StartsWith(rule, "madnet-") && !IsKnownRule(rule)) {
+        result.diagnostics.push_back(
+            {path, line, "madnet-nolint",
+             "unknown lint rule '" + rule + "' in NOLINT"});
+        continue;
+      }
+      result.by_line[target].insert(rule);
+    }
+  }
+  return result;
+}
+
+bool Suppressed(const Suppressions& suppressions, int line,
+                const std::string& rule) {
+  auto it = suppressions.by_line.find(line);
+  if (it == suppressions.by_line.end()) return false;
+  return it->second.count(rule) > 0;
+}
+
+// ---------------------------------------------------------------------------
+// Per-file scan context.
+
+struct FileScan {
+  std::string path;
+  std::vector<std::string> raw_lines;
+  std::vector<std::string> code_lines;  // Comments/strings blanked.
+  Suppressions suppressions;
+};
+
+FileScan ScanFile(const std::string& path, const std::string& content) {
+  FileScan scan;
+  scan.path = path;
+  scan.raw_lines = SplitLines(content);
+  scan.code_lines = SplitLines(StripCommentsAndStrings(content));
+  scan.code_lines.resize(scan.raw_lines.size());
+  scan.suppressions =
+      CollectSuppressions(path, SplitLines(ExtractComments(content)));
+  return scan;
+}
+
+bool InDirectory(const std::string& path, const std::string& dir) {
+  return StartsWith(path, dir) || Contains(path, "/" + dir);
+}
+
+// ---------------------------------------------------------------------------
+// Simple line-regex rules.
+
+struct LineRule {
+  const char* rule;
+  std::regex pattern;
+  const char* message;
+  // Empty = applies everywhere; otherwise the path must be under one of
+  // these directory prefixes.
+  std::vector<std::string> only_under;
+  // Paths containing any of these substrings are exempt.
+  std::vector<std::string> allowlist;
+};
+
+const std::vector<LineRule>& LineRules() {
+  static const std::vector<LineRule> rules{
+      {"madnet-rand",
+       std::regex("\\bstd\\s*::\\s*rand\\b|\\bsrand\\s*\\("),
+       "std::rand/srand is a hidden global RNG; draw from a seeded "
+       "madnet::Rng (util/random.h) instead",
+       {},
+       {}},
+      {"madnet-wallclock",
+       std::regex("\\btime\\s*\\(\\s*(nullptr|NULL|0)\\s*\\)|"
+                  "\\bgettimeofday\\s*\\(|\\blocaltime\\s*\\(|"
+                  "\\bgmtime\\s*\\(|\\bsystem_clock\\b"),
+       "wall-clock time makes runs irreproducible; simulation code must "
+       "use sim::Simulator::Now() (std::chrono::steady_clock is allowed "
+       "outside src/ for benchmark timing only)",
+       {"src/"},
+       {}},
+      {"madnet-random-device",
+       std::regex("\\bstd\\s*::\\s*random_device\\b"),
+       "std::random_device is nondeterministic entropy; seed a "
+       "madnet::Rng explicitly so the run is reproducible",
+       {},
+       {"src/util/random"}},
+      {"madnet-unseeded-mt19937",
+       std::regex("\\bstd\\s*::\\s*mt19937(_64)?\\s+\\w+\\s*(;|\\{\\s*\\}|"
+                  "\\(\\s*\\))|\\bstd\\s*::\\s*mt19937(_64)?\\s*(\\{\\s*\\}|"
+                  "\\(\\s*\\))"),
+       "default-constructed std::mt19937 uses a fixed-but-implicit seed; "
+       "prefer madnet::Rng(seed), or pass the seed explicitly",
+       {},
+       {}},
+  };
+  return rules;
+}
+
+// madnet-wallclock additionally bans time()/gettimeofday everywhere (not
+// just src/): benchmarks must use steady_clock, never the wall clock.
+const std::regex& WallclockEverywhereRe() {
+  static const std::regex re(
+      "\\btime\\s*\\(\\s*(nullptr|NULL|0)\\s*\\)|\\bgettimeofday\\s*\\(");
+  return re;
+}
+
+// ---------------------------------------------------------------------------
+// madnet-raw-new.
+
+// Files allowed to use raw new/delete (custom allocators, arenas). Matched
+// as path substrings; currently empty on purpose — widen only with care.
+const std::vector<std::string>& RawNewAllowlist() {
+  static const std::vector<std::string> allow{};
+  return allow;
+}
+
+void CheckRawNew(const FileScan& scan, std::vector<Diagnostic>* out) {
+  for (const std::string& allowed : RawNewAllowlist()) {
+    if (Contains(scan.path, allowed)) return;
+  }
+  static const std::regex kNewAnyRe("\\bnew\\b");
+  static const std::regex kDeleteRe("\\bdelete\\b(\\s*\\[\\s*\\])?");
+  static const std::regex kDeletedFnRe("=\\s*delete\\b");
+  static const std::regex kOperatorRe("\\boperator\\b");
+  for (size_t idx = 0; idx < scan.code_lines.size(); ++idx) {
+    const std::string& line = scan.code_lines[idx];
+    const int lineno = static_cast<int>(idx) + 1;
+    if (std::regex_search(line, kNewAnyRe) &&
+        !std::regex_search(line, kOperatorRe)) {
+      if (!Suppressed(scan.suppressions, lineno, "madnet-raw-new")) {
+        out->push_back({scan.path, lineno, "madnet-raw-new",
+                        "raw 'new': use std::make_unique/std::make_shared "
+                        "or a container"});
+      }
+    }
+    if (std::regex_search(line, kDeleteRe) &&
+        !std::regex_search(line, kDeletedFnRe) &&
+        !std::regex_search(line, kOperatorRe)) {
+      if (!Suppressed(scan.suppressions, lineno, "madnet-raw-new")) {
+        out->push_back({scan.path, lineno, "madnet-raw-new",
+                        "raw 'delete': ownership belongs in a smart "
+                        "pointer or container"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// madnet-nodiscard-status.
+
+void CheckNodiscardStatus(const FileScan& scan, std::vector<Diagnostic>* out) {
+  // A declaration line: optional specifiers, then Status/StatusOr<...> as
+  // the return type, then an unqualified function name and '('. Qualified
+  // names (out-of-line definitions, e.g. `Status Medium::AddNode(`) do not
+  // match because '::' intervenes before '('.
+  static const std::regex kDeclRe(
+      "^\\s*((virtual|static|inline|explicit|constexpr|friend)\\s+)*"
+      "(madnet\\s*::\\s*)?(Status|StatusOr\\s*<[^;(]*>)\\s+"
+      "([A-Za-z_][A-Za-z0-9_]*)\\s*\\(");
+  for (size_t idx = 0; idx < scan.code_lines.size(); ++idx) {
+    const std::string& line = scan.code_lines[idx];
+    if (!std::regex_search(line, kDeclRe)) continue;
+    const int lineno = static_cast<int>(idx) + 1;
+    if (Contains(line, "nodiscard")) continue;
+    // The attribute is commonly on the preceding line.
+    if (idx > 0 && Contains(scan.code_lines[idx - 1], "nodiscard")) continue;
+    if (Suppressed(scan.suppressions, lineno, "madnet-nodiscard-status")) {
+      continue;
+    }
+    out->push_back({scan.path, lineno, "madnet-nodiscard-status",
+                    "Status-returning declaration must be [[nodiscard]] so "
+                    "errors cannot be silently dropped"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// madnet-unordered-iteration.
+
+bool InAggregationPath(const std::string& path) {
+  return InDirectory(path, "src/stats/") || InDirectory(path, "src/scenario/");
+}
+
+// Collects identifiers bound to unordered containers on `line`: variables
+// and members (`std::unordered_map<...> name_;` / `... name = ...`) and
+// accessors returning them (`const std::unordered_map<...>& name() ...`).
+void CollectUnorderedNames(const std::string& line,
+                           std::set<std::string>* names) {
+  static const std::regex kUnorderedRe("\\bunordered_(map|set)\\b");
+  if (!std::regex_search(line, kUnorderedRe)) return;
+  static const std::regex kBindingRe("([A-Za-z_][A-Za-z0-9_]*)\\s*[;=(]");
+  auto begin = std::sregex_iterator(line.begin(), line.end(), kBindingRe);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    const std::string name = (*it)[1].str();
+    if (name == "unordered_map" || name == "unordered_set" || name == "std" ||
+        name == "const" || name == "if" || name == "for" || name == "while" ||
+        name == "return" || name == "operator") {
+      continue;
+    }
+    names->insert(name);
+  }
+}
+
+void CheckUnorderedIteration(const FileScan& scan,
+                             const std::set<std::string>& unordered_names,
+                             std::vector<Diagnostic>* out) {
+  if (!InAggregationPath(scan.path)) return;
+  static const std::regex kRangeForRe("\\bfor\\s*\\([^)]*:([^)]*)\\)");
+  for (size_t idx = 0; idx < scan.code_lines.size(); ++idx) {
+    const std::string& line = scan.code_lines[idx];
+    std::smatch match;
+    if (!std::regex_search(line, match, kRangeForRe)) continue;
+    const std::string range_expr = match[1].str();
+    std::string offender;
+    if (Contains(range_expr, "unordered_")) {
+      offender = "an unordered container";
+    } else {
+      static const std::regex kIdentRe("[A-Za-z_][A-Za-z0-9_]*");
+      auto begin = std::sregex_iterator(range_expr.begin(), range_expr.end(),
+                                        kIdentRe);
+      for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        if (unordered_names.count(it->str()) > 0) {
+          offender = "'" + it->str() + "'";
+          break;
+        }
+      }
+    }
+    if (offender.empty()) continue;
+    const int lineno = static_cast<int>(idx) + 1;
+    if (Suppressed(scan.suppressions, lineno, "madnet-unordered-iteration")) {
+      continue;
+    }
+    out->push_back(
+        {scan.path, lineno, "madnet-unordered-iteration",
+         "iteration over " + offender +
+             " in an aggregation path: hash order is not deterministic "
+             "across platforms; use std::map/std::set or sort first"});
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API.
+
+std::string ToString(const Diagnostic& diagnostic) {
+  return diagnostic.file + ":" + std::to_string(diagnostic.line) +
+         ": error: [" + diagnostic.rule + "] " + diagnostic.message;
+}
+
+const std::vector<std::string>& RuleNames() {
+  static const std::vector<std::string> names{
+      "madnet-rand",
+      "madnet-wallclock",
+      "madnet-random-device",
+      "madnet-unseeded-mt19937",
+      "madnet-unordered-iteration",
+      "madnet-raw-new",
+      "madnet-nodiscard-status",
+      "madnet-nolint",
+  };
+  return names;
+}
+
+void Linter::AddFile(std::string path, std::string content) {
+  // Normalize Windows separators so directory scoping works uniformly.
+  std::replace(path.begin(), path.end(), '\\', '/');
+  files_.push_back(File{std::move(path), std::move(content)});
+}
+
+std::vector<Diagnostic> Linter::Run() const {
+  std::vector<FileScan> scans;
+  scans.reserve(files_.size());
+  for (const File& file : files_) {
+    scans.push_back(ScanFile(file.path, file.content));
+  }
+
+  // Pass 1: container names for the unordered-iteration rule. Names are
+  // collected from aggregation-path files only, so e.g. a Medium member in
+  // src/net cannot shadow-flag a scenario loop.
+  std::set<std::string> unordered_names;
+  for (const FileScan& scan : scans) {
+    if (!InAggregationPath(scan.path)) continue;
+    for (const std::string& line : scan.code_lines) {
+      CollectUnorderedNames(line, &unordered_names);
+    }
+  }
+
+  // Pass 2: all rules.
+  std::vector<Diagnostic> diagnostics;
+  for (const FileScan& scan : scans) {
+    for (const Diagnostic& diagnostic : scan.suppressions.diagnostics) {
+      diagnostics.push_back(diagnostic);
+    }
+    for (const LineRule& rule : LineRules()) {
+      bool in_scope = rule.only_under.empty();
+      for (const std::string& dir : rule.only_under) {
+        if (InDirectory(scan.path, dir)) in_scope = true;
+      }
+      bool allowed = false;
+      for (const std::string& exempt : rule.allowlist) {
+        if (Contains(scan.path, exempt)) allowed = true;
+      }
+      if (allowed) continue;
+      for (size_t idx = 0; idx < scan.code_lines.size(); ++idx) {
+        const std::string& line = scan.code_lines[idx];
+        const int lineno = static_cast<int>(idx) + 1;
+        const bool hit =
+            (in_scope && std::regex_search(line, rule.pattern)) ||
+            (!in_scope && std::string(rule.rule) == "madnet-wallclock" &&
+             std::regex_search(line, WallclockEverywhereRe()));
+        if (!hit) continue;
+        if (Suppressed(scan.suppressions, lineno, rule.rule)) continue;
+        diagnostics.push_back({scan.path, lineno, rule.rule, rule.message});
+      }
+    }
+    CheckRawNew(scan, &diagnostics);
+    CheckNodiscardStatus(scan, &diagnostics);
+    CheckUnorderedIteration(scan, unordered_names, &diagnostics);
+  }
+
+  std::sort(diagnostics.begin(), diagnostics.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return diagnostics;
+}
+
+std::vector<Diagnostic> LintFile(const std::string& path,
+                                 const std::string& content) {
+  Linter linter;
+  linter.AddFile(path, content);
+  return linter.Run();
+}
+
+}  // namespace madnet::lint

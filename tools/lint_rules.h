@@ -1,0 +1,83 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+//
+// The rule engine behind the madnet_lint binary: token/regex-based checks
+// for madnet-specific correctness rules, chiefly the determinism policy
+// (no wall clocks, no unseeded/global RNGs, ordered iteration in
+// aggregation paths) that keeps every simulation bit-reproducible from its
+// seed. No libclang dependency — files are scanned line-by-line after
+// comments and string literals are blanked out.
+//
+// Rules (see docs/STATIC_ANALYSIS.md for the full policy):
+//   madnet-rand                 std::rand / srand anywhere.
+//   madnet-wallclock            time(nullptr), gettimeofday, localtime,
+//                               std::chrono::system_clock in src/.
+//   madnet-random-device        std::random_device outside src/util/random.
+//   madnet-unseeded-mt19937     default-constructed std::mt19937[_64].
+//   madnet-unordered-iteration  range-for over unordered containers in
+//                               src/stats/ and src/scenario/ files.
+//   madnet-raw-new              raw new/delete outside allow-listed files.
+//   madnet-nodiscard-status     Status/StatusOr declaration without
+//                               [[nodiscard]].
+//   madnet-nolint               NOLINT without a justification, or naming
+//                               an unknown madnet rule.
+//
+// Suppressions: `// NOLINT(madnet-<rule>): <justification>` silences the
+// named rule on that line; `// NOLINTNEXTLINE(madnet-<rule>): <...>` on the
+// next. The justification text is mandatory.
+
+#ifndef MADNET_TOOLS_LINT_RULES_H_
+#define MADNET_TOOLS_LINT_RULES_H_
+
+#include <string>
+#include <vector>
+
+namespace madnet::lint {
+
+/// One rule violation at a source location.
+struct Diagnostic {
+  std::string file;     ///< Repo-relative forward-slash path.
+  int line = 0;         ///< 1-based line number.
+  std::string rule;     ///< Rule id, e.g. "madnet-wallclock".
+  std::string message;  ///< Human-readable explanation.
+};
+
+/// Renders "file:line: error: [rule] message" (the gcc-style format most
+/// editors and CI annotators parse).
+std::string ToString(const Diagnostic& diagnostic);
+
+/// Ids of every implemented rule.
+const std::vector<std::string>& RuleNames();
+
+/// The cross-file rule engine. Add every file first, then Run(): the
+/// unordered-iteration rule needs the full file set to resolve container
+/// names declared in headers but iterated in sources.
+class Linter {
+ public:
+  /// Registers a file. `path` must be repo-relative with forward slashes;
+  /// path-dependent rules (allowlists, directory scoping) key off it.
+  void AddFile(std::string path, std::string content);
+
+  /// Runs every rule over all added files. Diagnostics are sorted by
+  /// (file, line, rule) so output is deterministic.
+  std::vector<Diagnostic> Run() const;
+
+ private:
+  struct File {
+    std::string path;
+    std::string content;
+  };
+  std::vector<File> files_;
+};
+
+/// Convenience wrapper: lints one file in isolation (cross-file name
+/// resolution then sees only this file).
+std::vector<Diagnostic> LintFile(const std::string& path,
+                                 const std::string& content);
+
+/// Blanks comments and string/character literals (including raw strings),
+/// preserving line structure. Exposed for tests.
+std::string StripCommentsAndStrings(const std::string& content);
+
+}  // namespace madnet::lint
+
+#endif  // MADNET_TOOLS_LINT_RULES_H_

@@ -29,7 +29,7 @@ using scenario::Method;
 using scenario::MethodName;
 using scenario::ScenarioConfig;
 
-StatusOr<Method> ParseMethod(const std::string& name) {
+[[nodiscard]] StatusOr<Method> ParseMethod(const std::string& name) {
   if (name == "flooding") return Method::kFlooding;
   if (name == "gossip") return Method::kGossip;
   if (name == "optimized1") return Method::kOptimized1;
