@@ -46,8 +46,7 @@ void Report(const bench::BenchEnv& env, const std::string& name,
   table.Print();
 }
 
-void Run() {
-  const auto env = bench::BenchEnv::FromEnvironment();
+void Run(const bench::BenchEnv& env) {
 
   bench::PrintHeader(
       "Ablation 1 — PHY realism: loss and collisions (Optimized, 300 peers)",
@@ -137,7 +136,9 @@ void Run() {
 }  // namespace
 }  // namespace madnet
 
-int main() {
-  madnet::Run();
+int main(int argc, char** argv) {
+  const auto env = madnet::bench::BenchEnv::FromEnvironment(argc, argv);
+  madnet::bench::ObsGuard obs(env);
+  madnet::Run(env);
   return 0;
 }

@@ -13,10 +13,21 @@
 //   MADNET_JOBS        — worker threads for sweeps (default 1; 0 or "auto"
 //                        means one per hardware thread). The --jobs=N
 //                        command-line flag overrides it.
+//
+// Observability knobs (see docs/OBSERVABILITY.md; flags override env):
+//   MADNET_TRACE / --trace=FILE             — JSONL trace output path.
+//   MADNET_TRACE_CATEGORIES /
+//     --trace-categories=CSV                — event,tx,rx,suppress,sketch,
+//                                             all (default), none.
+//   MADNET_TRACE_SAMPLE / --trace-sample=N  — keep every Nth record per
+//                                             category (default 1).
+//   MADNET_METRICS_OUT / --metrics-out=FILE — manifest + merged metrics
+//                                             JSON output path.
 
 #ifndef MADNET_BENCH_BENCH_UTIL_H_
 #define MADNET_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,7 +36,11 @@
 #include <vector>
 
 #include "exec/parallel_for.h"
+#include "obs/manifest.h"
+#include "obs/session.h"
+#include "obs/trace.h"
 #include "util/csv.h"
+#include "util/logging.h"
 #include "util/table.h"
 
 namespace madnet::bench {
@@ -40,6 +55,17 @@ struct BenchEnv {
   /// replications) are distributed over this many workers.
   int jobs = 1;
 
+  /// Observability outputs; empty paths mean "off" (see ObsGuard).
+  std::string trace_path;
+  std::string metrics_path;
+  uint32_t trace_categories = obs::kTraceAll;
+  uint32_t trace_sample = 1;
+
+  /// True when any observability output was requested.
+  bool ObsRequested() const {
+    return !trace_path.empty() || !metrics_path.empty();
+  }
+
   static BenchEnv FromEnvironment() {
     BenchEnv env;
     if (const char* reps = std::getenv("MADNET_BENCH_REPS")) {
@@ -53,6 +79,19 @@ struct BenchEnv {
     }
     if (const char* jobs = std::getenv("MADNET_JOBS")) {
       env.jobs = ParseJobs(jobs);
+    }
+    if (const char* trace = std::getenv("MADNET_TRACE")) {
+      env.trace_path = trace;
+    }
+    if (const char* cats = std::getenv("MADNET_TRACE_CATEGORIES")) {
+      env.trace_categories = ParseCategories(cats);
+    }
+    if (const char* sample = std::getenv("MADNET_TRACE_SAMPLE")) {
+      env.trace_sample =
+          static_cast<uint32_t>(std::max(1, std::atoi(sample)));
+    }
+    if (const char* metrics = std::getenv("MADNET_METRICS_OUT")) {
+      env.metrics_path = metrics;
     }
     return env;
   }
@@ -71,6 +110,15 @@ struct BenchEnv {
         env.reps = std::max(1, std::atoi(arg + 7));
       } else if (std::strcmp(arg, "--fast") == 0) {
         env.fast = true;
+      } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+        env.trace_path = arg + 8;
+      } else if (std::strncmp(arg, "--trace-categories=", 19) == 0) {
+        env.trace_categories = ParseCategories(arg + 19);
+      } else if (std::strncmp(arg, "--trace-sample=", 15) == 0) {
+        env.trace_sample =
+            static_cast<uint32_t>(std::max(1, std::atoi(arg + 15)));
+      } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
+        env.metrics_path = arg + 14;
       }
     }
     return env;
@@ -82,12 +130,72 @@ struct BenchEnv {
     char* end = nullptr;
     const long value = std::strtol(text, &end, 10);
     if (end == text || *end != '\0' || value < 0) {
-      std::fprintf(stderr, "error: --jobs wants a count or \"auto\", got \"%s\"\n",
-                   text);
+      MADNET_LOG_ERROR("--jobs wants a count or \"auto\", got \"%s\"", text);
       std::exit(2);
     }
     return exec::ResolveJobs(static_cast<int>(value));
   }
+
+  static uint32_t ParseCategories(const char* text) {
+    auto parsed = obs::ParseTraceCategories(text);
+    if (!parsed.ok()) {
+      MADNET_LOG_ERROR("--trace-categories: %s",
+                       parsed.status().ToString().c_str());
+      std::exit(2);
+    }
+    return *parsed;
+  }
+};
+
+/// Installs the process-wide obs::Session for the bench's lifetime when
+/// the environment asked for observability output, and flushes/writes the
+/// artifacts (trace JSONL, metrics JSON, manifest) on destruction. With no
+/// --trace / --metrics-out this is a complete no-op: no session exists and
+/// scenario hot paths keep their single null test.
+///
+///   int main(int argc, char** argv) {
+///     BenchEnv env = BenchEnv::FromEnvironment(argc, argv);
+///     ObsGuard obs(env);
+///     Run(env);
+///   }
+class ObsGuard {
+ public:
+  explicit ObsGuard(const BenchEnv& env)
+      : env_(env), start_(std::chrono::steady_clock::now()) {
+    if (!env.ObsRequested()) return;
+    obs::SessionOptions options;
+    options.trace.categories = env.trace_categories;
+    options.trace.sample_period = env.trace_sample;
+    options.trace_path = env.trace_path;
+    options.metrics_path = env.metrics_path;
+    obs::Session::Configure(options);
+  }
+
+  ObsGuard(const ObsGuard&) = delete;
+  ObsGuard& operator=(const ObsGuard&) = delete;
+
+  ~ObsGuard() {
+    obs::Session* session = obs::Session::Get();
+    if (session == nullptr) return;
+    obs::Manifest manifest;
+    manifest.replications = env_.reps;
+    manifest.jobs = env_.jobs;
+    manifest.wall_s = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+    const Status status = session->Flush(manifest);
+    obs::Session::Shutdown();
+    if (!status.ok()) {
+      // A bench whose requested artifacts are missing must not look green.
+      MADNET_LOG_ERROR("observability flush failed: %s",
+                       status.ToString().c_str());
+      std::exit(EXIT_FAILURE);
+    }
+  }
+
+ private:
+  BenchEnv env_;
+  std::chrono::steady_clock::time_point start_;
 };
 
 /// Runs fn(i) for every grid point i in [0, n), fanned out over env.jobs
@@ -117,7 +225,7 @@ inline std::unique_ptr<CsvWriter> OpenCsv(
   const std::string path = env.csv_dir + "/" + name;
   auto writer = std::make_unique<CsvWriter>(path, header);
   if (!writer->Ok()) {
-    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    MADNET_LOG_ERROR("cannot write %s", path.c_str());
     std::exit(EXIT_FAILURE);
   }
   return writer;
@@ -130,7 +238,7 @@ inline void CloseCsv(std::unique_ptr<CsvWriter> writer) {
   if (!writer) return;
   const Status status = writer->Close();
   if (!status.ok()) {
-    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    MADNET_LOG_ERROR("%s", status.ToString().c_str());
     std::exit(EXIT_FAILURE);
   }
 }

@@ -17,8 +17,7 @@
 namespace madnet {
 namespace {
 
-void Run() {
-  const auto env = bench::BenchEnv::FromEnvironment();
+void Run(const bench::BenchEnv& env) {
   bench::PrintHeader(
       "Connectivity of the Table-II geometry vs network size",
       "Average degree grows linearly with peers; the giant component "
@@ -76,7 +75,9 @@ void Run() {
 }  // namespace
 }  // namespace madnet
 
-int main() {
-  madnet::Run();
+int main(int argc, char** argv) {
+  const auto env = madnet::bench::BenchEnv::FromEnvironment(argc, argv);
+  madnet::bench::ObsGuard obs(env);
+  madnet::Run(env);
   return 0;
 }

@@ -25,8 +25,7 @@ using scenario::RunResult;
 using scenario::Scenario;
 using scenario::ScenarioConfig;
 
-void Run() {
-  const auto env = bench::BenchEnv::FromEnvironment();
+void Run(const bench::BenchEnv& env) {
   bench::PrintHeader(
       "Radio energy per method (300 peers, Table II, one ad life cycle)",
       "Optimized Gossiping cuts network radio energy by roughly the same "
@@ -81,7 +80,9 @@ void Run() {
 }  // namespace
 }  // namespace madnet
 
-int main() {
-  madnet::Run();
+int main(int argc, char** argv) {
+  const auto env = madnet::bench::BenchEnv::FromEnvironment(argc, argv);
+  madnet::bench::ObsGuard obs(env);
+  madnet::Run(env);
   return 0;
 }

@@ -12,8 +12,7 @@
 namespace madnet {
 namespace {
 
-void Run() {
-  const auto env = bench::BenchEnv::FromEnvironment();
+void Run(const bench::BenchEnv& env) {
   bench::PrintHeader(
       "Figure 2 — Forwarding probability vs distance (Formula 1)",
       "P stays near 1 deep inside the area, drops drastically as d nears "
@@ -43,7 +42,9 @@ void Run() {
 }  // namespace
 }  // namespace madnet
 
-int main() {
-  madnet::Run();
+int main(int argc, char** argv) {
+  const auto env = madnet::bench::BenchEnv::FromEnvironment(argc, argv);
+  madnet::bench::ObsGuard obs(env);
+  madnet::Run(env);
   return 0;
 }

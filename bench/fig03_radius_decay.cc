@@ -11,8 +11,7 @@
 namespace madnet {
 namespace {
 
-void Run() {
-  const auto env = bench::BenchEnv::FromEnvironment();
+void Run(const bench::BenchEnv& env) {
   bench::PrintHeader(
       "Figure 3 — Advertising radius vs age (Formula 2)",
       "R_t ~ R while t << D, collapses near t = D, 0 afterwards; lower "
@@ -43,7 +42,9 @@ void Run() {
 }  // namespace
 }  // namespace madnet
 
-int main() {
-  madnet::Run();
+int main(int argc, char** argv) {
+  const auto env = madnet::bench::BenchEnv::FromEnvironment(argc, argv);
+  madnet::bench::ObsGuard obs(env);
+  madnet::Run(env);
   return 0;
 }

@@ -93,6 +93,8 @@ void Run(const bench::BenchEnv& env) {
 }  // namespace madnet
 
 int main(int argc, char** argv) {
-  madnet::Run(madnet::bench::BenchEnv::FromEnvironment(argc, argv));
+  const auto env = madnet::bench::BenchEnv::FromEnvironment(argc, argv);
+  madnet::bench::ObsGuard obs(env);
+  madnet::Run(env);
   return 0;
 }

@@ -21,8 +21,7 @@ using scenario::MethodName;
 using scenario::RunReplicated;
 using scenario::ScenarioConfig;
 
-void Run() {
-  const auto env = bench::BenchEnv::FromEnvironment();
+void Run(const bench::BenchEnv& env) {
   bench::PrintHeader(
       "Figure 9 — % of messages reduced from pure Gossiping",
       "Opt-1's reduction shrinks as density grows; Opt-2's grows with "
@@ -62,7 +61,9 @@ void Run() {
 }  // namespace
 }  // namespace madnet
 
-int main() {
-  madnet::Run();
+int main(int argc, char** argv) {
+  const auto env = madnet::bench::BenchEnv::FromEnvironment(argc, argv);
+  madnet::bench::ObsGuard obs(env);
+  madnet::Run(env);
   return 0;
 }

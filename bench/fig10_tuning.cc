@@ -59,8 +59,7 @@ void PrintSweep(const bench::BenchEnv& env, const std::string& name,
   table.Print();
 }
 
-void Run(const std::string& which) {
-  const auto env = bench::BenchEnv::FromEnvironment();
+void Run(const std::string& which, const bench::BenchEnv& env) {
 
   if (which.empty() || which == "alpha") {
     bench::PrintHeader(
@@ -121,6 +120,8 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--sweep=", 8) == 0) which = argv[i] + 8;
   }
-  madnet::Run(which);
+  const auto env = madnet::bench::BenchEnv::FromEnvironment(argc, argv);
+  madnet::bench::ObsGuard obs(env);
+  madnet::Run(which, env);
   return 0;
 }

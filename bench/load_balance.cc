@@ -39,8 +39,7 @@ double Gini(std::vector<double> values) {
   return (2.0 * weighted) / (n * cumulative) - (n + 1.0) / n;
 }
 
-void Run() {
-  const auto env = bench::BenchEnv::FromEnvironment();
+void Run(const bench::BenchEnv& env) {
   bench::PrintHeader(
       "Forwarding-load distribution across peers (300 peers)",
       "Optimization 1 concentrates transmissions on annulus peers: its "
@@ -93,7 +92,9 @@ void Run() {
 }  // namespace
 }  // namespace madnet
 
-int main() {
-  madnet::Run();
+int main(int argc, char** argv) {
+  const auto env = madnet::bench::BenchEnv::FromEnvironment(argc, argv);
+  madnet::bench::ObsGuard obs(env);
+  madnet::Run(env);
   return 0;
 }

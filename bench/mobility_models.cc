@@ -24,8 +24,7 @@ using scenario::MobilityName;
 using scenario::RunReplicated;
 using scenario::ScenarioConfig;
 
-void Run() {
-  const auto env = bench::BenchEnv::FromEnvironment();
+void Run(const bench::BenchEnv& env) {
   bench::PrintHeader(
       "Mobility-model robustness (300 peers, Table II otherwise)",
       "Hotspot pull concentrates peers near the issuer: every method "
@@ -65,7 +64,9 @@ void Run() {
 }  // namespace
 }  // namespace madnet
 
-int main() {
-  madnet::Run();
+int main(int argc, char** argv) {
+  const auto env = madnet::bench::BenchEnv::FromEnvironment(argc, argv);
+  madnet::bench::ObsGuard obs(env);
+  madnet::Run(env);
   return 0;
 }

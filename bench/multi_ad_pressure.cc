@@ -20,8 +20,7 @@ using scenario::MultiAdConfig;
 using scenario::MultiAdResult;
 using scenario::RunMultiAdScenario;
 
-void Run() {
-  const auto env = bench::BenchEnv::FromEnvironment();
+void Run(const bench::BenchEnv& env) {
   bench::PrintHeader(
       "Multi-ad cache pressure — delivery vs live ads and cache size",
       "The top-k cache (Algorithm 1) is exercised only once concurrent ads "
@@ -71,7 +70,9 @@ void Run() {
 }  // namespace
 }  // namespace madnet
 
-int main() {
-  madnet::Run();
+int main(int argc, char** argv) {
+  const auto env = madnet::bench::BenchEnv::FromEnvironment(argc, argv);
+  madnet::bench::ObsGuard obs(env);
+  madnet::Run(env);
   return 0;
 }

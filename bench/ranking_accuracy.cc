@@ -141,8 +141,9 @@ void PopularVsNiche(const bench::BenchEnv& env) {
 }  // namespace
 }  // namespace madnet
 
-int main() {
-  const auto env = madnet::bench::BenchEnv::FromEnvironment();
+int main(int argc, char** argv) {
+  const auto env = madnet::bench::BenchEnv::FromEnvironment(argc, argv);
+  madnet::bench::ObsGuard obs(env);
   madnet::RankAccuracy(env);
   madnet::EnlargementGrowth(env);
   madnet::PopularVsNiche(env);

@@ -45,8 +45,7 @@ ExchangeBreakdown RunExchange(const ScenarioConfig& config) {
   return out;
 }
 
-void Run() {
-  const auto env = bench::BenchEnv::FromEnvironment();
+void Run(const bench::BenchEnv& env) {
   bench::PrintHeader(
       "Related work — Resource Exchange vs Gossiping (Section II)",
       "Exchange-at-encounter delivers comparably when dense, but its "
@@ -157,7 +156,9 @@ void Run() {
 }  // namespace
 }  // namespace madnet
 
-int main() {
-  madnet::Run();
+int main(int argc, char** argv) {
+  const auto env = madnet::bench::BenchEnv::FromEnvironment(argc, argv);
+  madnet::bench::ObsGuard obs(env);
+  madnet::Run(env);
   return 0;
 }

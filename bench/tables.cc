@@ -96,7 +96,9 @@ void Run() {
 }  // namespace
 }  // namespace madnet
 
-int main() {
+int main(int argc, char** argv) {
+  const auto env = madnet::bench::BenchEnv::FromEnvironment(argc, argv);
+  madnet::bench::ObsGuard obs(env);
   madnet::Run();
   return 0;
 }

@@ -24,9 +24,12 @@
 #include "bench/bench_util.h"
 #include "exec/parallel_for.h"
 #include "exec/thread_pool.h"
+#include "obs/manifest.h"
+#include "scenario/config_io.h"
 #include "scenario/experiment.h"
 #include "scenario/scenario.h"
 #include "util/json.h"
+#include "util/logging.h"
 #include "util/table.h"
 
 namespace madnet {
@@ -133,9 +136,9 @@ void Run(const bench::BenchEnv& env) {
               exec::ThreadPool::HardwareConcurrency());
 
   if (!SweepsIdentical(serial, parallel)) {
-    std::fprintf(stderr,
-                 "error: parallel sweep aggregates differ from serial — "
-                 "determinism contract broken\n");
+    MADNET_LOG_ERROR(
+        "parallel sweep aggregates differ from serial — "
+        "determinism contract broken");
     std::exit(EXIT_FAILURE);
   }
   std::printf("  determinism       serial == jobs=%d aggregates ✓\n",
@@ -144,6 +147,15 @@ void Run(const bench::BenchEnv& env) {
   if (env.csv_dir.empty()) return;
   JsonWriter json;
   json.BeginObject();
+  // Provenance block: which code and configuration produced these numbers.
+  obs::Manifest manifest;
+  manifest.config_hash = obs::HashHex(scenario::SaveConfigText(reference));
+  manifest.base_seed = reference.seed;
+  manifest.replications = env.reps;
+  manifest.jobs = parallel_jobs;
+  manifest.wall_s = single_wall_s + serial.wall_s + parallel.wall_s;
+  json.Key("manifest");
+  manifest.WriteJson(&json);
   json.Key("single_run");
   json.BeginObject();
   json.Key("peers");
@@ -185,7 +197,7 @@ void Run(const bench::BenchEnv& env) {
   out << json.TakeString() << '\n';
   out.close();
   if (out.fail()) {
-    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    MADNET_LOG_ERROR("cannot write %s", path.c_str());
     std::exit(EXIT_FAILURE);
   }
   std::printf("\nWrote %s\n", path.c_str());
@@ -195,6 +207,8 @@ void Run(const bench::BenchEnv& env) {
 }  // namespace madnet
 
 int main(int argc, char** argv) {
-  madnet::Run(madnet::bench::BenchEnv::FromEnvironment(argc, argv));
+  const auto env = madnet::bench::BenchEnv::FromEnvironment(argc, argv);
+  madnet::bench::ObsGuard obs(env);
+  madnet::Run(env);
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <cstdlib>
 
 #include "scenario/scenario.h"
+#include "util/logging.h"
 
 int main(int argc, char** argv) {
   using namespace madnet::scenario;
@@ -21,7 +22,7 @@ int main(int argc, char** argv) {
 
   madnet::Status valid = config.Validate();
   if (!valid.ok()) {
-    std::fprintf(stderr, "bad config: %s\n", valid.ToString().c_str());
+    MADNET_LOG_ERROR("bad config: %s", valid.ToString().c_str());
     return 1;
   }
 

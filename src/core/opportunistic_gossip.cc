@@ -83,9 +83,13 @@ bool OpportunisticGossip::GossipRound() {
   // Algorithm 2: refresh all entries' probabilities, then broadcast each
   // entry with its probability.
   RefreshCache();
-  cache_.ForEach([this](uint64_t /*key*/, CacheEntry& entry) {
+  cache_.ForEach([this](uint64_t key, CacheEntry& entry) {
     if (context_.rng.Bernoulli(entry.probability)) {
       Broadcast(MakeGossipPacket(entry.ad));
+    } else if (context_.trace != nullptr &&
+               context_.trace->Enabled(obs::kTraceSuppress)) {
+      context_.trace->Suppress(Now(), context_.self, key, "bernoulli",
+                               entry.probability);
     }
   });
   return true;
@@ -113,6 +117,10 @@ void OpportunisticGossip::EntryTimerFired(uint64_t key) {
   entry->probability = ProbabilityFor(entry->ad);
   if (context_.rng.Bernoulli(entry->probability)) {
     Broadcast(MakeGossipPacket(entry->ad));
+  } else if (context_.trace != nullptr &&
+             context_.trace->Enabled(obs::kTraceSuppress)) {
+    context_.trace->Suppress(now, context_.self, key, "bernoulli",
+                             entry->probability);
   }
   entry->next_gossip_time = now + options_.round_time_s;
   ScheduleEntry(key, entry);
@@ -164,6 +172,10 @@ void OpportunisticGossip::OnReceive(const net::Packet& packet,
     // Duplicate: merge any enlargement/sketch updates, then (Opt-2)
     // postpone our own scheduled gossip of this ad.
     entry->ad.MergeFrom(message->ad);
+    if (context_.trace != nullptr &&
+        context_.trace->Enabled(obs::kTraceSketch)) {
+      context_.trace->SketchMerge(Now(), context_.self, key);
+    }
     if (options_.postpone) {
       const Vec2 self_position = Position();
       const Vec2 sender_position = context_.medium->PositionOf(from);
@@ -177,6 +189,11 @@ void OpportunisticGossip::OnReceive(const net::Packet& packet,
       if (interval > 0.0) {
         entry->next_gossip_time += interval;
         ++postpone_count_;
+        if (context_.trace != nullptr &&
+            context_.trace->Enabled(obs::kTraceSuppress)) {
+          context_.trace->Suppress(Now(), context_.self, key, "postpone",
+                                   interval);
+        }
         ScheduleEntry(key, entry);
       }
     }

@@ -11,6 +11,7 @@
 
 #include "core/advertisement.h"
 #include "net/medium.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 #include "stats/delivery.h"
 #include "util/random.h"
@@ -27,6 +28,9 @@ struct ProtocolContext {
   stats::DeliveryLog* delivery_log = nullptr;
   /// Per-node random stream (forked from the scenario seed).
   Rng rng{0};
+  /// Optional trace sink for protocol-level records (suppression
+  /// decisions, sketch merges); may be null. Not owned.
+  obs::Trace* trace = nullptr;
 };
 
 /// Abstract per-node advertising protocol.

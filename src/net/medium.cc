@@ -165,6 +165,9 @@ Status Medium::Broadcast(NodeId from, const Packet& packet) {
   const Time now = simulator_->Now();
   const Vec2 origin = states_[from_index].mobility->PositionAt(now);
   if (observer_) observer_(from, packet, origin);
+  if (trace_ != nullptr && trace_->Enabled(obs::kTraceTx)) {
+    trace_->Tx(now, from, origin.x, origin.y, packet.size_bytes);
+  }
   // All delivery lambdas of this broadcast share one heap copy of the
   // packet (allocated on the first scheduled delivery), instead of N
   // independent Packet copies.
@@ -239,6 +242,9 @@ void Medium::CsmaTransmit(uint32_t from_index, Packet packet) {
   // One heap copy shared by every receiver's completion lambda.
   auto shared = std::make_shared<const Packet>(std::move(packet));
   if (observer_) observer_(from, *shared, origin);
+  if (trace_ != nullptr && trace_->Enabled(obs::kTraceTx)) {
+    trace_->Tx(now, from, origin.x, origin.y, shared->size_bytes);
+  }
 
   for (uint32_t to : NeighborIndicesOf(origin, options_.range_m)) {
     if (to == from_index) continue;
@@ -276,6 +282,9 @@ void Medium::CsmaTransmit(uint32_t from_index, Packet packet) {
       stats_.deliveries += 1;
       state.received += 1;
       state.received_bytes += shared->size_bytes;
+      if (trace_ != nullptr && trace_->Enabled(obs::kTraceRx)) {
+        trace_->Rx(simulator_->Now(), from, ids_[to], shared->size_bytes);
+      }
       if (state.handler) state.handler(*shared, from, ids_[to]);
     });
   }
@@ -302,6 +311,9 @@ void Medium::DeliverTo(uint32_t to_index, NodeId from, const Packet& packet) {
   stats_.deliveries += 1;
   state.received += 1;
   state.received_bytes += packet.size_bytes;
+  if (trace_ != nullptr && trace_->Enabled(obs::kTraceRx)) {
+    trace_->Rx(now, from, ids_[to_index], packet.size_bytes);
+  }
   if (state.handler) state.handler(packet, from, ids_[to_index]);
 }
 

@@ -25,6 +25,7 @@
 
 #include "mobility/mobility_model.h"
 #include "net/packet.h"
+#include "obs/trace.h"
 #include "net/spatial_index.h"
 #include "sim/simulator.h"
 #include "util/random.h"
@@ -136,6 +137,11 @@ class Medium {
     observer_ = std::move(observer);
   }
 
+  /// Installs (or clears, with nullptr) the trace sink receiving one
+  /// kTraceTx record per on-air frame and one kTraceRx record per
+  /// successful delivery. Must outlive the medium or be cleared first.
+  void SetTrace(obs::Trace* trace) { trace_ = trace; }
+
   /// Cumulative traffic counters.
   const MediumStats& stats() const { return stats_; }
 
@@ -210,6 +216,7 @@ class Medium {
   mutable Time index_time_ = -1.0;
   MediumStats stats_;
   BroadcastObserver observer_;
+  obs::Trace* trace_ = nullptr;
 
   // Hot-path scratch, reused across broadcasts instead of reallocating two
   // vectors per transmission. Safe because a Medium is single-threaded and

@@ -1,0 +1,68 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+
+#include "obs/manifest.h"
+
+#include <cstdio>
+#include <thread>
+
+namespace madnet::obs {
+
+uint64_t Fnv1a64(std::string_view bytes) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (unsigned char c : bytes) {
+    hash ^= c;
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+std::string HashHex(std::string_view bytes) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(Fnv1a64(bytes)));
+  return buf;
+}
+
+std::string Manifest::GitDescribe() {
+#ifdef MADNET_GIT_DESCRIBE
+  return MADNET_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+std::string Manifest::BuildType() {
+#ifdef MADNET_BUILD_TYPE
+  return MADNET_BUILD_TYPE;
+#else
+  return "unknown";
+#endif
+}
+
+unsigned Manifest::HostCores() {
+  const unsigned cores = std::thread::hardware_concurrency();
+  return cores == 0 ? 1 : cores;
+}
+
+void Manifest::WriteJson(JsonWriter* json) const {
+  json->BeginObject();
+  json->Key("git_describe");
+  json->Value(git_describe);
+  json->Key("build_type");
+  json->Value(build_type);
+  json->Key("config_hash");
+  json->Value(config_hash);
+  json->Key("base_seed");
+  json->Value(base_seed);
+  json->Key("replications");
+  json->Value(replications);
+  json->Key("jobs");
+  json->Value(jobs);
+  json->Key("host_cores");
+  json->Value(static_cast<uint64_t>(host_cores));
+  json->Key("wall_s");
+  json->Value(wall_s);
+  json->EndObject();
+}
+
+}  // namespace madnet::obs

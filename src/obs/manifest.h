@@ -1,0 +1,56 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+//
+// The run manifest: everything needed to attribute a bench/experiment
+// output to the code and configuration that produced it — git describe,
+// build type, config hash, seeds, job count, host core count, wall-clock.
+// Written next to every bench output (inside --metrics-out files, as the
+// "manifest" block of BENCH_throughput.json, and as <trace>.manifest.json
+// when only a trace was requested).
+
+#ifndef MADNET_OBS_MANIFEST_H_
+#define MADNET_OBS_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/json.h"
+
+namespace madnet::obs {
+
+/// FNV-1a 64-bit hash; the repo's content hash for config texts.
+uint64_t Fnv1a64(std::string_view bytes);
+
+/// Fnv1a64 rendered as 16 lowercase hex digits.
+std::string HashHex(std::string_view bytes);
+
+/// Provenance + environment of one bench/experiment invocation.
+struct Manifest {
+  std::string git_describe = GitDescribe();  ///< Compiled-in at configure.
+  std::string build_type = BuildType();      ///< CMAKE_BUILD_TYPE.
+  std::string config_hash;   ///< HashHex of the scenario config text;
+                             ///< empty when many configs were swept.
+  uint64_t base_seed = 0;    ///< First seed of the replication series.
+  int replications = 0;      ///< Seeds per data point (0 = unknown/mixed).
+  int jobs = 1;              ///< Resolved worker count of the invocation.
+  unsigned host_cores = HostCores();  ///< Hardware threads on this host.
+  double wall_s = 0.0;       ///< Whole-invocation wall-clock seconds.
+
+  /// `git describe --always --dirty` at configure time ("unknown" outside
+  /// a git checkout).
+  static std::string GitDescribe();
+
+  /// CMAKE_BUILD_TYPE at configure time.
+  static std::string BuildType();
+
+  /// std::thread::hardware_concurrency (>= 1).
+  static unsigned HostCores();
+
+  /// Writes this manifest as an object value (caller supplies the key):
+  /// json->Key("manifest"); manifest.WriteJson(&json);
+  void WriteJson(JsonWriter* json) const;
+};
+
+}  // namespace madnet::obs
+
+#endif  // MADNET_OBS_MANIFEST_H_

@@ -1,0 +1,107 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+//
+// Per-run observability context: one Trace sink, one MetricsRegistry, and
+// the run's profiling phase accumulator, owned together so the scenario
+// harness can thread a single pointer through simulator, medium, and
+// protocols. A RunContext belongs to exactly one replication; the
+// replication engine merges contexts in seed order.
+//
+// PhaseTimer is the RAII profiling hook: it measures real (steady-clock)
+// time around setup / event-loop / aggregation and books it into the
+// context. Wall-clock here never feeds simulation results — it only
+// surfaces in the run manifest — so determinism is unaffected.
+
+#ifndef MADNET_OBS_RUN_CONTEXT_H_
+#define MADNET_OBS_RUN_CONTEXT_H_
+
+#include <chrono>
+#include <map>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace madnet::obs {
+
+/// Accumulated real time of one named phase.
+struct PhaseStat {
+  double seconds = 0.0;
+  uint64_t count = 0;
+};
+
+/// One replication's observability state.
+class RunContext {
+ public:
+  explicit RunContext(const TraceOptions& trace_options)
+      : trace(trace_options) {}
+
+  Trace trace;
+  MetricsRegistry metrics;
+
+  /// Books `seconds` of real time into phase `name`.
+  void AddPhase(const std::string& name, double seconds) {
+    PhaseStat& stat = phases_[name];
+    stat.seconds += seconds;
+    stat.count += 1;
+  }
+
+  /// Seconds booked for `name` so far (0 if never timed).
+  double PhaseSeconds(const std::string& name) const {
+    const auto it = phases_.find(name);
+    return it == phases_.end() ? 0.0 : it->second.seconds;
+  }
+
+  /// Name-ordered phase table.
+  const std::map<std::string, PhaseStat>& phases() const { return phases_; }
+
+  /// Sums another context's phases into this one (for merged reports).
+  void MergePhasesFrom(const RunContext& other) {
+    for (const auto& [name, stat] : other.phases_) {
+      PhaseStat& mine = phases_[name];
+      mine.seconds += stat.seconds;
+      mine.count += stat.count;
+    }
+  }
+
+ private:
+  std::map<std::string, PhaseStat> phases_;
+};
+
+/// RAII phase timer. Null context => no-op (so call sites need no branch).
+class PhaseTimer {
+ public:
+  PhaseTimer(RunContext* context, const char* name)
+      : context_(context), name_(name) {
+    if (context_ != nullptr) {
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+  ~PhaseTimer() { Stop(); }
+
+  /// Ends the phase early; returns the measured seconds (0 on no-op or if
+  /// already stopped).
+  double Stop() {
+    if (context_ == nullptr || stopped_) return 0.0;
+    stopped_ = true;
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    context_->AddPhase(name_, seconds);
+    return seconds;
+  }
+
+ private:
+  RunContext* context_;
+  const char* name_;
+  std::chrono::steady_clock::time_point start_;
+  bool stopped_ = false;
+};
+
+}  // namespace madnet::obs
+
+#endif  // MADNET_OBS_RUN_CONTEXT_H_

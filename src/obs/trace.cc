@@ -1,0 +1,143 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+
+#include "obs/trace.h"
+
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace madnet::obs {
+namespace {
+
+/// Index of a single-bit category in [0, kTraceCategoryCount).
+int CategoryIndex(uint32_t category) {
+  int index = 0;
+  while ((category >> index) != 1u) ++index;
+  return index;
+}
+
+}  // namespace
+
+const char* TraceCategoryName(uint32_t category) {
+  switch (category) {
+    case kTraceEvent: return "event";
+    case kTraceTx: return "tx";
+    case kTraceRx: return "rx";
+    case kTraceSuppress: return "suppress";
+    case kTraceSketch: return "sketch";
+  }
+  return "?";
+}
+
+[[nodiscard]] StatusOr<uint32_t> ParseTraceCategories(const std::string& csv) {
+  uint32_t mask = 0;
+  std::string name;
+  for (size_t i = 0; i <= csv.size(); ++i) {
+    if (i < csv.size() && csv[i] != ',') {
+      if (csv[i] != ' ') name += csv[i];
+      continue;
+    }
+    if (name.empty()) continue;
+    if (name == "all") mask |= kTraceAll;
+    else if (name == "none") mask |= 0;
+    else if (name == "event") mask |= kTraceEvent;
+    else if (name == "tx") mask |= kTraceTx;
+    else if (name == "rx") mask |= kTraceRx;
+    else if (name == "suppress") mask |= kTraceSuppress;
+    else if (name == "sketch") mask |= kTraceSketch;
+    else {
+      return Status::InvalidArgument(
+          "unknown trace category '" + name +
+          "' (want event, tx, rx, suppress, sketch, all, none)");
+    }
+    name.clear();
+  }
+  return mask;
+}
+
+Trace::Trace(const TraceOptions& options) : options_(options) {
+  if (options_.sample_period == 0) options_.sample_period = 1;
+  // A run's trace is typically tens of thousands of small records; start
+  // with a page-sized buffer so early appends don't reallocate repeatedly.
+  if (options_.categories != 0) text_.reserve(4096);
+}
+
+bool Trace::Sample(uint32_t category) {
+  if (options_.sample_period == 1) {
+    ++records_kept_;
+    return true;
+  }
+  uint64_t& counter = sample_counters_[CategoryIndex(category)];
+  const bool keep = (counter % options_.sample_period) == 0;
+  ++counter;
+  if (keep) {
+    ++records_kept_;
+  } else {
+    ++records_sampled_out_;
+  }
+  return keep;
+}
+
+void Trace::BeginRun(uint64_t seed, const std::string& config_hash_hex) {
+  if (options_.categories == 0) return;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "{\"cat\":\"run\",\"seed\":%llu,\"config\":\"%s\"}\n",
+                static_cast<unsigned long long>(seed),
+                config_hash_hex.c_str());
+  text_ += buf;
+  ++records_kept_;
+}
+
+void Trace::Event(double t, uint64_t seq) {
+  if (!Enabled(kTraceEvent) || !Sample(kTraceEvent)) return;
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "{\"cat\":\"event\",\"t\":%.9f,\"seq\":%llu}\n", t,
+                static_cast<unsigned long long>(seq));
+  text_ += buf;
+}
+
+void Trace::Tx(double t, uint32_t node, double x, double y, uint32_t bytes) {
+  if (!Enabled(kTraceTx) || !Sample(kTraceTx)) return;
+  char buf[128];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"cat\":\"tx\",\"t\":%.9f,\"node\":%u,\"x\":%.3f,\"y\":%.3f,"
+      "\"bytes\":%u}\n",
+      t, node, x, y, bytes);
+  text_ += buf;
+}
+
+void Trace::Rx(double t, uint32_t from, uint32_t to, uint32_t bytes) {
+  if (!Enabled(kTraceRx) || !Sample(kTraceRx)) return;
+  char buf[112];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"cat\":\"rx\",\"t\":%.9f,\"from\":%u,\"node\":%u,\"bytes\":%u}\n", t,
+      from, to, bytes);
+  text_ += buf;
+}
+
+void Trace::Suppress(double t, uint32_t node, uint64_t ad_key,
+                     const char* reason, double value) {
+  if (!Enabled(kTraceSuppress) || !Sample(kTraceSuppress)) return;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "{\"cat\":\"suppress\",\"t\":%.9f,\"node\":%u,\"ad\":%llu,"
+                "\"reason\":\"%s\",\"v\":%.9g}\n",
+                t, node, static_cast<unsigned long long>(ad_key), reason,
+                value);
+  text_ += buf;
+}
+
+void Trace::SketchMerge(double t, uint32_t node, uint64_t ad_key) {
+  if (!Enabled(kTraceSketch) || !Sample(kTraceSketch)) return;
+  char buf[112];
+  std::snprintf(buf, sizeof(buf),
+                "{\"cat\":\"sketch\",\"t\":%.9f,\"node\":%u,\"ad\":%llu}\n", t,
+                node, static_cast<unsigned long long>(ad_key));
+  text_ += buf;
+}
+
+}  // namespace madnet::obs

@@ -1,0 +1,108 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+//
+// Structured run tracing: a per-run sink of JSONL records describing what
+// happened *inside* a simulation — event dispatch, broadcast tx/rx,
+// gossip suppression decisions, sketch merges. Records are appended in
+// simulation order, which is fully deterministic given the seed, so a
+// trace is a reproducible artifact: same config + same seed => byte-
+// identical bytes, at any --jobs (per-replication sinks are concatenated
+// in seed order by scenario::ReplicatedObs / obs::Session).
+//
+// Cost model: a subsystem holds a `Trace*` that is null when its category
+// is not requested, so a disabled trace costs exactly one branch on the
+// hot path. When enabled, each record is one snprintf into a stack buffer
+// plus a string append; `sample_period` keeps only every Nth record per
+// category for high-frequency categories (event dispatch, rx).
+//
+// Record schema (field order is fixed; see docs/OBSERVABILITY.md):
+//   {"cat":"run","seed":7,"config":"9a0f…"}          run header
+//   {"cat":"event","t":12.5,"seq":3021}              event dispatch
+//   {"cat":"tx","t":…,"node":5,"x":…,"y":…,"bytes":64}
+//   {"cat":"rx","t":…,"from":5,"node":9,"bytes":64}
+//   {"cat":"suppress","t":…,"node":5,"ad":…,"reason":"bernoulli","v":0.25}
+//   {"cat":"sketch","t":…,"node":5,"ad":…}
+
+#ifndef MADNET_OBS_TRACE_H_
+#define MADNET_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace madnet::obs {
+
+/// Trace category bitmask values.
+inline constexpr uint32_t kTraceEvent = 1u << 0;     ///< Event dispatch.
+inline constexpr uint32_t kTraceTx = 1u << 1;        ///< Broadcast sent.
+inline constexpr uint32_t kTraceRx = 1u << 2;        ///< Frame delivered.
+inline constexpr uint32_t kTraceSuppress = 1u << 3;  ///< Gossip suppressed.
+inline constexpr uint32_t kTraceSketch = 1u << 4;    ///< FM sketch merge.
+inline constexpr uint32_t kTraceAll =
+    kTraceEvent | kTraceTx | kTraceRx | kTraceSuppress | kTraceSketch;
+
+/// Number of distinct categories (for per-category sampling state).
+inline constexpr int kTraceCategoryCount = 5;
+
+/// The short name used in records and --trace-categories ("event", "tx",
+/// ...). `category` must be exactly one bit of kTraceAll.
+const char* TraceCategoryName(uint32_t category);
+
+/// Parses a comma-separated category list ("tx,rx", "all", "none") into a
+/// bitmask. InvalidArgument on unknown names.
+[[nodiscard]] StatusOr<uint32_t> ParseTraceCategories(const std::string& csv);
+
+/// What a Trace records and how aggressively it samples.
+struct TraceOptions {
+  uint32_t categories = 0;     ///< Bitmask of kTrace* values.
+  uint32_t sample_period = 1;  ///< Keep every Nth record per category (>= 1).
+};
+
+/// One run's trace sink. Single-threaded, like everything else inside a
+/// replication; concurrent replications each own a Trace.
+class Trace {
+ public:
+  explicit Trace(const TraceOptions& options);
+
+  /// True iff `category` (one or more bits) is requested. Inline so call
+  /// sites gated on a non-null Trace* pay one mask test.
+  bool Enabled(uint32_t category) const {
+    return (options_.categories & category) != 0;
+  }
+
+  /// Emits the run-header record. Call once, before any other record.
+  void BeginRun(uint64_t seed, const std::string& config_hash_hex);
+
+  /// Typed record appenders. Each checks Enabled() and sampling itself,
+  /// so callers may gate on the pointer alone.
+  void Event(double t, uint64_t seq);
+  void Tx(double t, uint32_t node, double x, double y, uint32_t bytes);
+  void Rx(double t, uint32_t from, uint32_t to, uint32_t bytes);
+  void Suppress(double t, uint32_t node, uint64_t ad_key, const char* reason,
+                double value);
+  void SketchMerge(double t, uint32_t node, uint64_t ad_key);
+
+  /// The JSONL text so far (one record per line, each '\n'-terminated).
+  const std::string& text() const { return text_; }
+
+  /// Records appended / records skipped by sampling.
+  uint64_t records_kept() const { return records_kept_; }
+  uint64_t records_sampled_out() const { return records_sampled_out_; }
+
+  const TraceOptions& options() const { return options_; }
+
+ private:
+  /// Sampling gate for one record of `category` (a single bit). Returns
+  /// true if the record should be kept.
+  bool Sample(uint32_t category);
+
+  TraceOptions options_;
+  std::string text_;
+  uint64_t records_kept_ = 0;
+  uint64_t records_sampled_out_ = 0;
+  uint64_t sample_counters_[kTraceCategoryCount] = {};
+};
+
+}  // namespace madnet::obs
+
+#endif  // MADNET_OBS_TRACE_H_

@@ -2,9 +2,14 @@
 
 #include "scenario/experiment.h"
 
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "exec/parallel_for.h"
+#include "obs/run_context.h"
+#include "obs/session.h"
+#include "scenario/config_io.h"
 #include "util/logging.h"
 
 namespace madnet::scenario {
@@ -12,17 +17,42 @@ namespace madnet::scenario {
 Aggregate RunReplicated(const ScenarioConfig& base, int replications,
                         int jobs) {
   MADNET_DCHECK_GE(replications, 1);
+  obs::Session* session = obs::Session::Get();
 
   // Each replication is a self-contained simulation (own Simulator, Medium
   // and RNG stream derived from its seed), so seeds can run concurrently
-  // without any sharing. Results land in seed-indexed slots.
+  // without any sharing. Results land in seed-indexed slots. When an
+  // observability session is installed, each replication also fills its own
+  // RunContext (sharded recording: no cross-thread contention), handed to
+  // the session below with a seed-derived sort key so flushed artifacts
+  // are byte-identical at any `jobs`.
   std::vector<RunResult> results(static_cast<size_t>(replications));
+  std::vector<std::unique_ptr<obs::RunContext>> contexts(
+      session != nullptr ? results.size() : 0);
   exec::ParallelFor(
       exec::ResolveJobs(jobs), results.size(), [&](size_t i) {
         ScenarioConfig config = base;
         config.seed = base.seed + static_cast<uint64_t>(i);
-        results[i] = RunScenario(config);
+        if (session != nullptr) {
+          auto context =
+              std::make_unique<obs::RunContext>(session->options().trace);
+          // Per-replication wall clock, surfaced via the manifest's
+          // "replication" phase (seconds summed, count = replications).
+          obs::PhaseTimer replication_timer(context.get(), "replication");
+          results[i] = RunScenario(config, context.get());
+          replication_timer.Stop();
+          contexts[i] = std::move(context);
+        } else {
+          results[i] = RunScenario(config);
+        }
       });
+  if (session != nullptr) {
+    for (size_t i = 0; i < contexts.size(); ++i) {
+      ScenarioConfig config = base;
+      config.seed = base.seed + static_cast<uint64_t>(i);
+      session->AddRun(SaveConfigText(config), std::move(contexts[i]));
+    }
+  }
 
   // Merge strictly in seed order: Summary::Add sequences are then the same
   // as the serial path's, so aggregates are bit-identical for any jobs.

@@ -37,6 +37,12 @@ struct Aggregate {
 /// fully isolated; per-seed results are merged in seed order regardless of
 /// completion order, making every Aggregate field bit-identical to the
 /// serial path.
+///
+/// When an obs::Session is installed (see bench_util's ObsGuard), every
+/// replication additionally records into its own obs::RunContext — trace
+/// records, metrics, and a "replication" wall-clock phase — and the
+/// contexts are handed to the session keyed by the replication's config
+/// text, so flushed traces/metrics are also byte-identical at any `jobs`.
 Aggregate RunReplicated(const ScenarioConfig& base, int replications,
                         int jobs = 1);
 

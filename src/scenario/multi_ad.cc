@@ -13,6 +13,7 @@
 #include "core/restricted_flooding.h"
 #include "mobility/constant_velocity.h"
 #include "mobility/random_waypoint.h"
+#include "util/logging.h"
 
 namespace madnet::scenario {
 
@@ -88,6 +89,8 @@ MultiAdResult RunMultiAdScenario(const MultiAdConfig& config) {
   }
 
   sim::Simulator simulator;
+  // Log records inside this run carry virtual time.
+  const ScopedLogClock log_clock(simulator.NowHandle());
   Rng root(config.base.seed);
   net::Medium medium(config.base.medium, &simulator, root.Fork(0x4D414449));
   stats::DeliveryLog log;

@@ -11,6 +11,8 @@
 #include "mobility/hotspot_waypoint.h"
 #include "mobility/manhattan_grid.h"
 #include "mobility/random_waypoint.h"
+#include "obs/manifest.h"
+#include "scenario/config_io.h"
 #include "util/logging.h"
 
 namespace madnet::scenario {
@@ -21,7 +23,9 @@ namespace {
 constexpr double kIssuerOfflineDelay = 1.0;
 }  // namespace
 
-Scenario::Scenario(const ScenarioConfig& config) : config_(config) {
+Scenario::Scenario(const ScenarioConfig& config, obs::RunContext* obs)
+    : config_(config), obs_(obs), log_clock_(simulator_.NowHandle()) {
+  obs::PhaseTimer setup_timer(obs_, "setup");
   Status valid = config_.Validate();
   assert(valid.ok() && "invalid ScenarioConfig");
   (void)valid;
@@ -51,6 +55,15 @@ Scenario::Scenario(const ScenarioConfig& config) : config_(config) {
   Rng root(config_.seed);
   medium_ = std::make_unique<net::Medium>(config_.medium, &simulator_,
                                           root.Fork(0x4D454449));  // "MEDI"
+  if (obs_ != nullptr) {
+    // Header first, so every run's chunk is self-describing; then hand the
+    // sink to the subsystems that emit records. The hash covers the folded
+    // config (what actually ran), seed included.
+    obs_->trace.BeginRun(config_.seed,
+                         obs::HashHex(SaveConfigText(config_)));
+    simulator_.SetTrace(&obs_->trace);
+    medium_->SetTrace(&obs_->trace);
+  }
 
   const int node_count = config_.num_peers + 1;  // Peers plus the issuer.
   mobilities_.reserve(node_count);
@@ -138,6 +151,7 @@ std::unique_ptr<core::Protocol> Scenario::MakeProtocol(net::NodeId id,
   context.self = id;
   context.delivery_log = &delivery_log_;
   context.rng = rng;
+  context.trace = obs_ != nullptr ? &obs_->trace : nullptr;
 
   if (config_.method == Method::kFlooding) {
     return std::make_unique<core::RestrictedFlooding>(std::move(context),
@@ -177,7 +191,11 @@ RunResult Scenario::Run() {
     }
   });
 
-  simulator_.RunUntil(config_.sim_time_s);
+  {
+    obs::PhaseTimer loop_timer(obs_, "event_loop");
+    simulator_.RunUntil(config_.sim_time_s);
+  }
+  obs::PhaseTimer aggregate_timer(obs_, "aggregate");
 
   // Metrics over the ad's life cycle within the simulated horizon.
   const double life_end = std::min(
@@ -206,7 +224,34 @@ RunResult Scenario::Run() {
     result.final_duration_s = std::max(result.final_duration_s,
                                        entry->ad.duration_s);
   }
+  aggregate_timer.Stop();
+  if (obs_ != nullptr) CaptureMetrics(result);
   return result;
+}
+
+void Scenario::CaptureMetrics(const RunResult& result) {
+  obs::MetricsRegistry& metrics = obs_->metrics;
+  *metrics.Counter("scenario.runs") += 1;
+  *metrics.Counter("sim.events_executed") += result.events_executed;
+  *metrics.Counter("net.messages_sent") += result.net.messages_sent;
+  *metrics.Counter("net.bytes_sent") += result.net.bytes_sent;
+  *metrics.Counter("net.deliveries") += result.net.deliveries;
+  *metrics.Counter("net.dropped_loss") += result.net.dropped_loss;
+  *metrics.Counter("net.dropped_collision") += result.net.dropped_collision;
+  *metrics.Counter("net.dropped_offline") += result.net.dropped_offline;
+  *metrics.Counter("net.dropped_mac_busy") += result.net.dropped_mac_busy;
+  *metrics.Counter("net.mac_defers") += result.net.mac_defers;
+  metrics
+      .Histogram("scenario.delivery_rate_percent",
+                 {10, 20, 30, 40, 50, 60, 70, 80, 90, 100})
+      ->Observe(result.DeliveryRatePercent());
+  metrics
+      .Histogram("scenario.mean_delivery_time_s",
+                 {1, 2, 5, 10, 20, 50, 100, 200, 500})
+      ->Observe(result.MeanDeliveryTime());
+  metrics.SetGauge("scenario.final_rank", result.final_rank);
+  metrics.SetGauge("scenario.final_radius_m", result.final_radius_m);
+  metrics.SetGauge("scenario.final_duration_s", result.final_duration_s);
 }
 
 mobility::TraceSet Scenario::RecordTraces(sim::Time horizon) {
@@ -222,6 +267,11 @@ mobility::TraceSet Scenario::RecordTraces(sim::Time horizon) {
 
 RunResult RunScenario(const ScenarioConfig& config) {
   Scenario scenario(config);
+  return scenario.Run();
+}
+
+RunResult RunScenario(const ScenarioConfig& config, obs::RunContext* obs) {
+  Scenario scenario(config, obs);
   return scenario.Run();
 }
 

@@ -14,9 +14,11 @@
 #include "mobility/mobility_model.h"
 #include "mobility/trace_io.h"
 #include "net/medium.h"
+#include "obs/run_context.h"
 #include "scenario/config.h"
 #include "sim/simulator.h"
 #include "stats/delivery.h"
+#include "util/logging.h"
 
 namespace madnet::scenario {
 
@@ -42,7 +44,17 @@ struct RunResult {
 class Scenario {
  public:
   /// Builds the full scenario. `config` must Validate() (asserted).
-  explicit Scenario(const ScenarioConfig& config);
+  explicit Scenario(const ScenarioConfig& config) : Scenario(config, nullptr) {}
+
+  /// Observed variant: when `obs` is non-null the scenario emits trace
+  /// records (per the context's enabled categories) from the simulator,
+  /// the medium, and every protocol instance, books setup / event-loop /
+  /// aggregation phase timings, and snapshots run metrics into the
+  /// context's registry at the end of Run(). `obs` is borrowed and must
+  /// outlive the scenario. With nullptr this is exactly the plain ctor —
+  /// hot paths pay a single null test per potential record.
+  Scenario(const ScenarioConfig& config, obs::RunContext* obs);
+
   ~Scenario();
   Scenario(const Scenario&) = delete;
   Scenario& operator=(const Scenario&) = delete;
@@ -87,8 +99,14 @@ class Scenario {
   /// Creates one peer's mobility model per config_.mobility.
   std::unique_ptr<mobility::MobilityModel> MakeMobility(Rng rng);
 
+  /// Snapshots the finished run's counters and reports into obs_->metrics.
+  void CaptureMetrics(const RunResult& result);
+
   ScenarioConfig config_;
+  obs::RunContext* obs_;  // Borrowed; may be null.
   sim::Simulator simulator_;
+  // Log records carry virtual time while this scenario is on the stack.
+  ScopedLogClock log_clock_;
   std::unique_ptr<net::Medium> medium_;
   stats::DeliveryLog delivery_log_;
   std::vector<std::unique_ptr<mobility::MobilityModel>> mobilities_;
@@ -99,6 +117,9 @@ class Scenario {
 
 /// Builds, runs, and reports one scenario.
 RunResult RunScenario(const ScenarioConfig& config);
+
+/// Observed variant; see Scenario's two-argument constructor.
+RunResult RunScenario(const ScenarioConfig& config, obs::RunContext* obs);
 
 /// Builds one mobile peer's mobility model per `config.mobility` (Random
 /// Waypoint / Manhattan grid / hotspot waypoint, with the speed, pause and

@@ -66,6 +66,9 @@ bool Simulator::Step() {
   assert(when >= now_ && "event queue went backwards in time");
   now_ = when;
   ++executed_;
+  if (trace_ != nullptr && trace_->Enabled(obs::kTraceEvent)) {
+    trace_->Event(now_, executed_);
+  }
   callback();
   return true;
 }

@@ -13,6 +13,7 @@
 #include <limits>
 #include <memory>
 
+#include "obs/trace.h"
 #include "sim/event_queue.h"
 #include "util/status.h"
 
@@ -86,8 +87,19 @@ class Simulator {
   /// Total events executed so far.
   uint64_t ExecutedEvents() const { return executed_; }
 
-  /// Drops all pending events and resets the clock to zero.
+  /// Drops all pending events and resets the clock to zero. The trace sink
+  /// installed via SetTrace (if any) stays installed.
   void Reset();
+
+  /// Installs (or clears, with nullptr) the trace sink receiving one
+  /// kTraceEvent record per executed event. The sink must outlive the
+  /// simulator or be cleared before it dies.
+  void SetTrace(obs::Trace* trace) { trace_ = trace; }
+
+  /// Stable pointer to the virtual clock, for read-only observers that
+  /// must not depend on sim (e.g. util::ScopedLogClock). Valid for the
+  /// simulator's lifetime.
+  const Time* NowHandle() const { return &now_; }
 
  private:
   /// One firing of a periodic series; reschedules itself while active.
@@ -97,6 +109,7 @@ class Simulator {
   EventQueue queue_;
   Time now_ = 0.0;
   uint64_t executed_ = 0;
+  obs::Trace* trace_ = nullptr;
 };
 
 }  // namespace madnet::sim

@@ -5,11 +5,23 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace madnet {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+// One writer lock for the whole process: a log record is formatted outside
+// the lock and emitted as a single fprintf under it, so records from
+// parallel replications (exec::ParallelFor workers) never shear.
+std::mutex& WriterMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+// Innermost active ScopedLogClock of this thread (null = no sim running).
+thread_local const double* t_log_clock = nullptr;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -33,8 +45,20 @@ void Logger::Log(LogLevel level, const char* format, ...) {
   va_start(args, format);
   vsnprintf(buf, sizeof(buf), format, args);
   va_end(args);
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level), buf);
+  const double* clock = t_log_clock;
+  const std::lock_guard<std::mutex> lock(WriterMutex());
+  if (clock != nullptr) {
+    std::fprintf(stderr, "[%s t=%.3f] %s\n", LevelName(level), *clock, buf);
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", LevelName(level), buf);
+  }
 }
+
+ScopedLogClock::ScopedLogClock(const double* now) : previous_(t_log_clock) {
+  t_log_clock = now;
+}
+
+ScopedLogClock::~ScopedLogClock() { t_log_clock = previous_; }
 
 namespace internal {
 

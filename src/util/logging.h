@@ -28,9 +28,27 @@ class Logger {
   /// The current minimum level.
   static LogLevel GetLevel();
 
-  /// printf-style log record to stderr: "[LEVEL] message".
+  /// printf-style log record to stderr: "[LEVEL] message", or
+  /// "[LEVEL t=123.456] message" while a ScopedLogClock is active on this
+  /// thread. Each record is a single locked write, so records from
+  /// concurrent replications never interleave mid-line.
   static void Log(LogLevel level, const char* format, ...)
       __attribute__((format(printf, 2, 3)));
+};
+
+/// Prefixes this thread's log records with virtual simulation time read
+/// from `*now` (e.g. a Simulator's NowHandle()) for the scope's lifetime.
+/// Scopes nest; the innermost wins. The pointee must stay valid for the
+/// scope — it is read at each log call, not copied.
+class ScopedLogClock {
+ public:
+  explicit ScopedLogClock(const double* now);
+  ~ScopedLogClock();
+  ScopedLogClock(const ScopedLogClock&) = delete;
+  ScopedLogClock& operator=(const ScopedLogClock&) = delete;
+
+ private:
+  const double* previous_;
 };
 
 namespace internal {

@@ -1,0 +1,163 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+//
+// Unit tests for the metrics registry: histogram bucketing, the merge
+// semantics the parallel experiment engine relies on (counters/buckets
+// sum, gauges last-merged-wins, everything name-ordered), and the config
+// hash used as the deterministic run sort key.
+
+#include "obs/metrics.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/manifest.h"
+
+namespace madnet::obs {
+namespace {
+
+TEST(FixedHistogramTest, BucketsByInclusiveUpperEdge) {
+  FixedHistogram h({10.0, 20.0, 30.0});
+  h.Observe(0.0);    // first bucket
+  h.Observe(10.0);   // inclusive edge -> first bucket
+  h.Observe(10.5);   // second bucket
+  h.Observe(30.0);   // inclusive edge -> third bucket
+  h.Observe(31.0);   // overflow
+  h.Observe(1e9);    // overflow
+  ASSERT_EQ(h.counts().size(), 4u);
+  EXPECT_EQ(h.counts()[0], 2u);
+  EXPECT_EQ(h.counts()[1], 1u);
+  EXPECT_EQ(h.counts()[2], 1u);
+  EXPECT_EQ(h.counts()[3], 2u);
+  EXPECT_EQ(h.count(), 6u);
+}
+
+TEST(FixedHistogramTest, MeanAndSumTrackObservations) {
+  FixedHistogram h({100.0});
+  EXPECT_EQ(h.Mean(), 0.0);  // Empty histogram: no division by zero.
+  h.Observe(2.0);
+  h.Observe(4.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 6.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 3.0);
+}
+
+TEST(FixedHistogramTest, MergeSumsBucketwise) {
+  FixedHistogram a({1.0, 2.0});
+  FixedHistogram b({1.0, 2.0});
+  a.Observe(0.5);
+  b.Observe(0.5);
+  b.Observe(1.5);
+  b.Observe(99.0);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.counts()[0], 2u);
+  EXPECT_EQ(a.counts()[1], 1u);
+  EXPECT_EQ(a.counts()[2], 1u);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.sum(), 0.5 + 0.5 + 1.5 + 99.0);
+}
+
+TEST(MetricsRegistryTest, CounterHandleIsStableAndAccumulates) {
+  MetricsRegistry registry;
+  uint64_t* hits = registry.Counter("net.hits");
+  *hits += 3;
+  registry.AddCounter("net.hits", 2);
+  // Same name resolves to the same storage.
+  EXPECT_EQ(registry.Counter("net.hits"), hits);
+  EXPECT_EQ(registry.counters().at("net.hits"), 5u);
+}
+
+TEST(MetricsRegistryTest, HistogramKeepsOriginalBoundsOnRelookup) {
+  MetricsRegistry registry;
+  FixedHistogram* h = registry.Histogram("lat", {1.0, 2.0});
+  // A later lookup with different bounds returns the original buckets.
+  EXPECT_EQ(registry.Histogram("lat", {5.0}), h);
+  ASSERT_EQ(h->bounds().size(), 2u);
+  EXPECT_DOUBLE_EQ(h->bounds()[0], 1.0);
+}
+
+TEST(MetricsRegistryTest, MergeSumsCountersAndLastGaugeWins) {
+  MetricsRegistry first;
+  first.AddCounter("runs", 1);
+  first.SetGauge("final_rank", 10.0);
+  first.Histogram("rate", {50.0, 100.0})->Observe(75.0);
+
+  MetricsRegistry second;
+  second.AddCounter("runs", 1);
+  second.AddCounter("only_in_second", 7);
+  second.SetGauge("final_rank", 20.0);
+  second.Histogram("rate", {50.0, 100.0})->Observe(25.0);
+
+  MetricsRegistry merged;
+  merged.MergeFrom(first);
+  merged.MergeFrom(second);
+  EXPECT_EQ(merged.counters().at("runs"), 2u);
+  EXPECT_EQ(merged.counters().at("only_in_second"), 7u);
+  // Merge order is seed order, so "last wins" is deterministic.
+  EXPECT_DOUBLE_EQ(merged.gauges().at("final_rank"), 20.0);
+  const FixedHistogram& rate = merged.histograms().at("rate");
+  EXPECT_EQ(rate.counts()[0], 1u);
+  EXPECT_EQ(rate.counts()[1], 1u);
+}
+
+TEST(MetricsRegistryTest, MergedAggregateIsIndependentOfPartitioning) {
+  // Simulates the jobs=1 vs jobs=N split: the same per-seed registries
+  // merged in the same (seed) order give identical aggregates no matter
+  // how work was partitioned — merging happens after the barrier.
+  MetricsRegistry seeds[3];
+  for (int i = 0; i < 3; ++i) {
+    seeds[i].AddCounter("events", static_cast<uint64_t>(100 + i));
+    seeds[i].SetGauge("radius", 500.0 + i);
+  }
+  MetricsRegistry serial;
+  for (const auto& seed : seeds) serial.MergeFrom(seed);
+  MetricsRegistry parallel;
+  for (const auto& seed : seeds) parallel.MergeFrom(seed);
+  EXPECT_EQ(serial.ToJson(), parallel.ToJson());
+}
+
+TEST(MetricsRegistryTest, JsonIsNameOrdered) {
+  MetricsRegistry registry;
+  registry.AddCounter("zulu", 1);
+  registry.AddCounter("alpha", 2);
+  registry.SetGauge("mid", 3.5);
+  const std::string json = registry.ToJson();
+  EXPECT_LT(json.find("\"alpha\""), json.find("\"zulu\""));
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+// --------------------------------------------------------------------------
+// Config hashing (the deterministic run sort key / manifest field).
+
+TEST(ManifestHashTest, HashHexIsStableAndDiscriminates) {
+  const std::string a = HashHex("num_peers=100\nseed=7\n");
+  EXPECT_EQ(a.size(), 16u);
+  EXPECT_EQ(a, HashHex("num_peers=100\nseed=7\n"));
+  EXPECT_NE(a, HashHex("num_peers=100\nseed=8\n"));
+  // Known FNV-1a 64 basis for the empty string.
+  EXPECT_EQ(Fnv1a64(""), 14695981039346656037ull);
+}
+
+TEST(ManifestTest, WriteJsonEmitsProvenanceFields) {
+  Manifest manifest;
+  manifest.config_hash = "deadbeefdeadbeef";
+  manifest.base_seed = 7;
+  manifest.replications = 5;
+  manifest.jobs = 4;
+  manifest.wall_s = 1.25;
+  JsonWriter json;
+  manifest.WriteJson(&json);
+  const std::string text = json.TakeString();
+  EXPECT_NE(text.find("\"git_describe\""), std::string::npos);
+  EXPECT_NE(text.find("\"build_type\""), std::string::npos);
+  EXPECT_NE(text.find("\"config_hash\":\"deadbeefdeadbeef\""),
+            std::string::npos);
+  EXPECT_NE(text.find("\"base_seed\":7"), std::string::npos);
+  EXPECT_NE(text.find("\"replications\":5"), std::string::npos);
+  EXPECT_NE(text.find("\"jobs\":4"), std::string::npos);
+  EXPECT_NE(text.find("\"host_cores\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace madnet::obs

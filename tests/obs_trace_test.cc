@@ -1,0 +1,200 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+//
+// Unit tests for the structured trace sink and its reader: the exact
+// record bytes (the byte-identity contract depends on them), category
+// gating, per-category sampling, and ParseTraceLine round-trips including
+// the 64-bit integer fields that a double parse would corrupt.
+
+#include "obs/trace.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace_reader.h"
+
+namespace madnet::obs {
+namespace {
+
+TEST(TraceCategoriesTest, ParsesNamesAndCombinations) {
+  EXPECT_EQ(*ParseTraceCategories("all"), kTraceAll);
+  EXPECT_EQ(*ParseTraceCategories("none"), 0u);
+  EXPECT_EQ(*ParseTraceCategories("tx,rx"), kTraceTx | kTraceRx);
+  EXPECT_EQ(*ParseTraceCategories(" event , sketch "),
+            kTraceEvent | kTraceSketch);
+  EXPECT_EQ(*ParseTraceCategories("suppress"), kTraceSuppress);
+  EXPECT_EQ(*ParseTraceCategories(""), 0u);
+}
+
+TEST(TraceCategoriesTest, RejectsUnknownNames) {
+  const auto result = ParseTraceCategories("tx,bogus");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("bogus"), std::string::npos);
+}
+
+TEST(TraceCategoriesTest, NamesMatchRecordCatFields) {
+  EXPECT_STREQ(TraceCategoryName(kTraceEvent), "event");
+  EXPECT_STREQ(TraceCategoryName(kTraceTx), "tx");
+  EXPECT_STREQ(TraceCategoryName(kTraceRx), "rx");
+  EXPECT_STREQ(TraceCategoryName(kTraceSuppress), "suppress");
+  EXPECT_STREQ(TraceCategoryName(kTraceSketch), "sketch");
+}
+
+TEST(TraceTest, EmitsExactRecordBytes) {
+  // The byte-identity acceptance test (jobs=1 vs jobs=4) compares whole
+  // files, so the per-record format is load-bearing: field order, %.9f
+  // times, %.3f coordinates.
+  TraceOptions options;
+  options.categories = kTraceAll;
+  Trace trace(options);
+  trace.BeginRun(7, "00f00ba400f00ba4");
+  trace.Event(12.5, 3021);
+  trace.Tx(1.0, 5, 1234.5678, 99.0, 64);
+  trace.Rx(2.25, 5, 9, 64);
+  trace.Suppress(3.0, 5, 123456789, "bernoulli", 0.25);
+  trace.SketchMerge(4.0, 5, 123456789);
+  EXPECT_EQ(trace.text(),
+            "{\"cat\":\"run\",\"seed\":7,\"config\":\"00f00ba400f00ba4\"}\n"
+            "{\"cat\":\"event\",\"t\":12.500000000,\"seq\":3021}\n"
+            "{\"cat\":\"tx\",\"t\":1.000000000,\"node\":5,\"x\":1234.568,"
+            "\"y\":99.000,\"bytes\":64}\n"
+            "{\"cat\":\"rx\",\"t\":2.250000000,\"from\":5,\"node\":9,"
+            "\"bytes\":64}\n"
+            "{\"cat\":\"suppress\",\"t\":3.000000000,\"node\":5,"
+            "\"ad\":123456789,\"reason\":\"bernoulli\",\"v\":0.25}\n"
+            "{\"cat\":\"sketch\",\"t\":4.000000000,\"node\":5,"
+            "\"ad\":123456789}\n");
+  EXPECT_EQ(trace.records_kept(), 6u);
+  EXPECT_EQ(trace.records_sampled_out(), 0u);
+}
+
+TEST(TraceTest, DisabledCategoriesEmitNothing) {
+  TraceOptions options;
+  options.categories = kTraceTx;  // Only tx requested.
+  Trace trace(options);
+  trace.Event(1.0, 1);
+  trace.Rx(1.0, 1, 2, 8);
+  trace.Suppress(1.0, 1, 1, "postpone", 2.0);
+  trace.SketchMerge(1.0, 1, 1);
+  EXPECT_TRUE(trace.text().empty());
+  trace.Tx(1.0, 1, 0.0, 0.0, 8);
+  EXPECT_EQ(trace.records_kept(), 1u);
+  EXPECT_FALSE(trace.Enabled(kTraceEvent));
+  EXPECT_TRUE(trace.Enabled(kTraceTx));
+  EXPECT_TRUE(trace.Enabled(kTraceTx | kTraceRx));  // Any-bit semantics.
+}
+
+TEST(TraceTest, SamplingKeepsEveryNthRecordPerCategory) {
+  TraceOptions options;
+  options.categories = kTraceEvent | kTraceRx;
+  options.sample_period = 3;
+  Trace trace(options);
+  for (int i = 0; i < 9; ++i) trace.Event(static_cast<double>(i), i);
+  // Each category has its own counter: the first rx is kept even though
+  // the event stream is mid-period.
+  trace.Rx(0.5, 1, 2, 8);
+  EXPECT_EQ(trace.records_kept(), 4u);          // 3 events + 1 rx.
+  EXPECT_EQ(trace.records_sampled_out(), 6u);   // 6 events dropped.
+  EXPECT_EQ(trace.text(),
+            "{\"cat\":\"event\",\"t\":0.000000000,\"seq\":0}\n"
+            "{\"cat\":\"event\",\"t\":3.000000000,\"seq\":3}\n"
+            "{\"cat\":\"event\",\"t\":6.000000000,\"seq\":6}\n"
+            "{\"cat\":\"rx\",\"t\":0.500000000,\"from\":1,\"node\":2,"
+            "\"bytes\":8}\n");
+}
+
+// --------------------------------------------------------------------------
+// Reader
+
+TEST(TraceReaderTest, RoundTripsEveryRecordKind) {
+  TraceOptions options;
+  options.categories = kTraceAll;
+  Trace trace(options);
+  // An ad key above 2^53: lost if parsed through a double.
+  const uint64_t big_ad = 0xfedcba9876543210ull;
+  trace.BeginRun(18446744073709551615ull, "0123456789abcdef");
+  trace.Event(12.5, 3021);
+  trace.Tx(1.0, 5, 1234.5678, 99.0, 64);
+  trace.Rx(2.25, 5, 9, 64);
+  trace.Suppress(3.0, 5, big_ad, "postpone", 1.5);
+  trace.SketchMerge(4.0, 5, big_ad);
+
+  std::string text = trace.text();
+  std::vector<TraceEvent> events;
+  size_t start = 0;
+  while (start < text.size()) {
+    const size_t end = text.find('\n', start);
+    TraceEvent event;
+    ASSERT_TRUE(
+        ParseTraceLine(std::string_view(text).substr(start, end - start),
+                       &event)
+            .ok());
+    events.push_back(event);
+    start = end + 1;
+  }
+  ASSERT_EQ(events.size(), 6u);
+  EXPECT_EQ(events[0].cat, "run");
+  EXPECT_EQ(events[0].seed, 18446744073709551615ull);
+  EXPECT_EQ(events[0].config, "0123456789abcdef");
+  EXPECT_EQ(events[1].cat, "event");
+  EXPECT_DOUBLE_EQ(events[1].t, 12.5);
+  EXPECT_EQ(events[1].seq, 3021u);
+  EXPECT_EQ(events[2].cat, "tx");
+  EXPECT_EQ(events[2].node, 5u);
+  EXPECT_DOUBLE_EQ(events[2].x, 1234.568);
+  EXPECT_EQ(events[2].bytes, 64u);
+  EXPECT_EQ(events[3].cat, "rx");
+  EXPECT_EQ(events[3].from, 5u);
+  EXPECT_EQ(events[3].node, 9u);
+  EXPECT_EQ(events[4].cat, "suppress");
+  EXPECT_EQ(events[4].ad, big_ad);
+  EXPECT_EQ(events[4].reason, "postpone");
+  EXPECT_DOUBLE_EQ(events[4].v, 1.5);
+  EXPECT_EQ(events[5].cat, "sketch");
+  EXPECT_EQ(events[5].ad, big_ad);
+}
+
+TEST(TraceReaderTest, AcceptsTrailingNewlineAndCrLf) {
+  TraceEvent event;
+  EXPECT_TRUE(
+      ParseTraceLine("{\"cat\":\"event\",\"t\":1.0,\"seq\":2}\n", &event)
+          .ok());
+  EXPECT_TRUE(
+      ParseTraceLine("{\"cat\":\"event\",\"t\":1.0,\"seq\":2}\r\n", &event)
+          .ok());
+  EXPECT_EQ(event.seq, 2u);
+}
+
+TEST(TraceReaderTest, SkipsUnknownKeysForForwardCompat) {
+  TraceEvent event;
+  ASSERT_TRUE(ParseTraceLine("{\"cat\":\"tx\",\"t\":1.0,\"node\":3,"
+                             "\"future\":\"field\",\"extra\":-2.5}",
+                             &event)
+                  .ok());
+  EXPECT_EQ(event.cat, "tx");
+  EXPECT_EQ(event.node, 3u);
+}
+
+TEST(TraceReaderTest, RejectsMalformedLines) {
+  TraceEvent event;
+  EXPECT_FALSE(ParseTraceLine("", &event).ok());
+  EXPECT_FALSE(ParseTraceLine("not json", &event).ok());
+  EXPECT_FALSE(ParseTraceLine("{\"cat\":\"tx\"", &event).ok());  // Truncated.
+  EXPECT_FALSE(ParseTraceLine("{\"cat\":\"tx\"}trail", &event).ok());
+  EXPECT_FALSE(ParseTraceLine("{\"cat\":42}", &event).ok());
+  EXPECT_FALSE(ParseTraceLine("{\"seq\":\"seven\",\"cat\":\"event\"}", &event)
+                   .ok());
+  // Negative values can't be unsigned ids.
+  EXPECT_FALSE(
+      ParseTraceLine("{\"cat\":\"rx\",\"node\":-3}", &event).ok());
+}
+
+TEST(TraceReaderTest, RejectsUnknownCategory) {
+  TraceEvent event;
+  const Status status = ParseTraceLine("{\"cat\":\"warp\"}", &event);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("warp"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace madnet::obs

@@ -1,0 +1,185 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+//
+// Observability contract of the scenario/experiment stack:
+//   1. a fixed config + seed produces a byte-identical trace file at
+//      jobs=1 and jobs=4 (the ISSUE's acceptance criterion);
+//   2. running with a disabled trace (or none) changes no result — the
+//      simulation is bit-for-bit what it was before obs existed;
+//   3. the per-run context captures the metrics and phase timings the
+//      manifest reports.
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/manifest.h"
+#include "obs/run_context.h"
+#include "obs/session.h"
+#include "obs/trace_reader.h"
+#include "scenario/experiment.h"
+#include "scenario/scenario.h"
+
+namespace madnet::scenario {
+namespace {
+
+ScenarioConfig SmallConfig() {
+  ScenarioConfig config;
+  config.method = Method::kOptimized;
+  config.num_peers = 40;
+  config.area_size_m = 1500.0;
+  config.issue_location = {750.0, 750.0};
+  config.initial_radius_m = 500.0;
+  config.initial_duration_s = 150.0;
+  config.sim_time_s = 200.0;
+  config.issue_time_s = 20.0;
+  config.seed = 11;
+  return config;
+}
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Runs a replicated sweep under a fresh Session and returns the flushed
+/// trace file's bytes.
+std::string SweepTraceBytes(const ScenarioConfig& config, int replications,
+                            int jobs, const std::string& path) {
+  obs::SessionOptions options;
+  options.trace.categories = obs::kTraceAll;
+  options.trace_path = path;
+  obs::Session::Configure(options);
+  RunReplicated(config, replications, jobs);
+  EXPECT_EQ(obs::Session::Get()->run_count(),
+            static_cast<size_t>(replications));
+  obs::Manifest manifest;
+  manifest.base_seed = config.seed;
+  manifest.replications = replications;
+  manifest.jobs = jobs;
+  const Status status = obs::Session::Get()->Flush(manifest);
+  obs::Session::Shutdown();
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return ReadWholeFile(path);
+}
+
+TEST(ScenarioObsTest, TraceIsByteIdenticalAtOneAndFourJobs) {
+  const ScenarioConfig config = SmallConfig();
+  const std::string serial = SweepTraceBytes(
+      config, 4, /*jobs=*/1, testing::TempDir() + "obs_trace_j1.jsonl");
+  const std::string parallel = SweepTraceBytes(
+      config, 4, /*jobs=*/4, testing::TempDir() + "obs_trace_j4.jsonl");
+  ASSERT_FALSE(serial.empty());
+  // Whole-file bytes, not just record counts: field order, float
+  // formatting, and run concatenation order all must match.
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ScenarioObsTest, FlushedTraceParsesAndIsOrderedWithinRuns) {
+  const ScenarioConfig config = SmallConfig();
+  const std::string path = testing::TempDir() + "obs_trace_parse.jsonl";
+  const std::string bytes = SweepTraceBytes(config, 2, /*jobs=*/2, path);
+  std::istringstream in(bytes);
+  std::string line;
+  int runs = 0;
+  uint64_t records = 0;
+  double last_t = 0.0;
+  while (std::getline(in, line)) {
+    obs::TraceEvent event;
+    ASSERT_TRUE(obs::ParseTraceLine(line, &event).ok()) << line;
+    ++records;
+    if (event.cat == "run") {
+      ++runs;
+      last_t = 0.0;
+      continue;
+    }
+    ASSERT_GE(runs, 1) << "record before the first run header";
+    EXPECT_GE(event.t, last_t) << "virtual time went backwards";
+    last_t = event.t;
+  }
+  EXPECT_EQ(runs, 2);
+  EXPECT_GT(records, static_cast<uint64_t>(runs));
+  // The sidecar manifest is written when only a trace was requested.
+  const std::string manifest = ReadWholeFile(path + ".manifest.json");
+  EXPECT_NE(manifest.find("\"runs\":2"), std::string::npos);
+  EXPECT_NE(manifest.find("\"counters\""), std::string::npos);
+}
+
+TEST(ScenarioObsTest, DisabledTraceMatchesUnobservedRunExactly) {
+  const ScenarioConfig config = SmallConfig();
+  const RunResult plain = RunScenario(config);
+  obs::RunContext context{obs::TraceOptions{}};  // No categories enabled.
+  const RunResult observed = RunScenario(config, &context);
+  EXPECT_EQ(observed.events_executed, plain.events_executed);
+  EXPECT_EQ(observed.net.messages_sent, plain.net.messages_sent);
+  EXPECT_EQ(observed.net.bytes_sent, plain.net.bytes_sent);
+  EXPECT_EQ(observed.net.deliveries, plain.net.deliveries);
+  EXPECT_EQ(observed.ad_key, plain.ad_key);
+  EXPECT_EQ(observed.DeliveryRatePercent(), plain.DeliveryRatePercent());
+  EXPECT_EQ(observed.MeanDeliveryTime(), plain.MeanDeliveryTime());
+  EXPECT_EQ(observed.final_rank, plain.final_rank);
+  EXPECT_EQ(observed.final_radius_m, plain.final_radius_m);
+  EXPECT_EQ(observed.final_duration_s, plain.final_duration_s);
+  EXPECT_TRUE(context.trace.text().empty());
+}
+
+TEST(ScenarioObsTest, FullTracingDoesNotPerturbResults) {
+  const ScenarioConfig config = SmallConfig();
+  const RunResult plain = RunScenario(config);
+  obs::TraceOptions trace_options;
+  trace_options.categories = obs::kTraceAll;
+  obs::RunContext context{trace_options};
+  const RunResult observed = RunScenario(config, &context);
+  EXPECT_EQ(observed.events_executed, plain.events_executed);
+  EXPECT_EQ(observed.net.messages_sent, plain.net.messages_sent);
+  EXPECT_EQ(observed.DeliveryRatePercent(), plain.DeliveryRatePercent());
+  EXPECT_FALSE(context.trace.text().empty());
+}
+
+TEST(ScenarioObsTest, ContextCapturesMetricsAndPhases) {
+  const ScenarioConfig config = SmallConfig();
+  obs::TraceOptions trace_options;
+  trace_options.categories = obs::kTraceTx;
+  obs::RunContext context{trace_options};
+  const RunResult result = RunScenario(config, &context);
+  EXPECT_EQ(context.metrics.counters().at("sim.events_executed"),
+            result.events_executed);
+  EXPECT_EQ(context.metrics.counters().at("net.messages_sent"),
+            result.net.messages_sent);
+  EXPECT_EQ(context.metrics.counters().at("scenario.runs"), 1u);
+  EXPECT_DOUBLE_EQ(context.metrics.gauges().at("scenario.final_rank"),
+                   result.final_rank);
+  // Each phase was entered exactly once for a single run.
+  EXPECT_EQ(context.phases().at("setup").count, 1u);
+  EXPECT_EQ(context.phases().at("event_loop").count, 1u);
+  EXPECT_EQ(context.phases().at("aggregate").count, 1u);
+  EXPECT_GE(context.PhaseSeconds("event_loop"), 0.0);
+}
+
+TEST(ScenarioObsTest, SamplingShrinksTheTraceDeterministically) {
+  const ScenarioConfig config = SmallConfig();
+  obs::TraceOptions dense;
+  dense.categories = obs::kTraceEvent;
+  obs::RunContext dense_context{dense};
+  RunScenario(config, &dense_context);
+
+  obs::TraceOptions sparse = dense;
+  sparse.sample_period = 10;
+  obs::RunContext sparse_context{sparse};
+  RunScenario(config, &sparse_context);
+
+  EXPECT_GT(sparse_context.trace.records_sampled_out(), 0u);
+  EXPECT_LT(sparse_context.trace.records_kept(),
+            dense_context.trace.records_kept());
+  // Same run, same sampling => same bytes.
+  obs::RunContext repeat_context{sparse};
+  RunScenario(config, &repeat_context);
+  EXPECT_EQ(sparse_context.trace.text(), repeat_context.trace.text());
+}
+
+}  // namespace
+}  // namespace madnet::scenario

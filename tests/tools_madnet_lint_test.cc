@@ -245,6 +245,42 @@ TEST(MadnetLintTest, SkipsOutOfLineStatusDefinitions) {
 }
 
 // --------------------------------------------------------------------------
+// madnet-stderr
+
+TEST(MadnetLintTest, FlagsDirectStderrWrites) {
+  const auto diags = LintFile("src/scenario/foo.cc",
+                              "void Warn() {\n"
+                              "  fprintf(stderr, \"boom\\n\");\n"
+                              "  std::fputs(\"boom\\n\", stderr);\n"
+                              "}\n");
+  int count = 0;
+  for (const auto& d : diags) {
+    if (d.rule == "madnet-stderr") ++count;
+  }
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(LineOf(diags, "madnet-stderr"), 2);
+}
+
+TEST(MadnetLintTest, AllowsStderrInLoggingAndTools) {
+  // util/logging owns the locked writer; tools/ are standalone CLIs with
+  // their own usage/error conventions.
+  EXPECT_FALSE(HasRule(
+      LintFile("src/util/logging.cc", "fprintf(stderr, \"x\");\n"),
+      "madnet-stderr"));
+  EXPECT_FALSE(HasRule(
+      LintFile("tools/madnet_run.cc", "fprintf(stderr, \"usage\\n\");\n"),
+      "madnet-stderr"));
+}
+
+TEST(MadnetLintTest, AcceptsStderrToLoggerMacrosAndStdoutPrintf) {
+  const auto diags = LintFile("src/scenario/foo.cc",
+                              "MADNET_LOG_ERROR(\"boom %d\", 1);\n"
+                              "fprintf(out, \"data\\n\");\n"
+                              "printf(\"progress\\n\");\n");
+  EXPECT_FALSE(HasRule(diags, "madnet-stderr"));
+}
+
+// --------------------------------------------------------------------------
 // NOLINT suppressions (madnet-nolint)
 
 TEST(MadnetLintTest, NolintWithJustificationSuppresses) {
@@ -342,7 +378,9 @@ TEST(MadnetLintTest, RuleNamesListsEveryRule) {
             names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "madnet-nodiscard-status"),
             names.end());
-  EXPECT_EQ(names.size(), 8u);
+  EXPECT_NE(std::find(names.begin(), names.end(), "madnet-stderr"),
+            names.end());
+  EXPECT_EQ(names.size(), 9u);
 }
 
 }  // namespace

@@ -316,6 +316,14 @@ const std::vector<LineRule>& LineRules() {
        "prefer madnet::Rng(seed), or pass the seed explicitly",
        {},
        {}},
+      {"madnet-stderr",
+       std::regex("\\bfprintf\\s*\\(\\s*stderr\\b|"
+                  "\\bfputs\\s*\\([^)]*,\\s*stderr\\s*\\)"),
+       "direct stderr writes bypass the locked Logger (records can shear "
+       "under parallel sweeps and lose the sim-time prefix); use "
+       "MADNET_LOG_ERROR/WARN from util/logging.h",
+       {},
+       {"util/logging", "tools/"}},
   };
   return rules;
 }
@@ -477,6 +485,7 @@ const std::vector<std::string>& RuleNames() {
       "madnet-wallclock",
       "madnet-random-device",
       "madnet-unseeded-mt19937",
+      "madnet-stderr",
       "madnet-unordered-iteration",
       "madnet-raw-new",
       "madnet-nodiscard-status",

@@ -1,0 +1,142 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+//
+// Reader / validator for madnet trace files (the JSONL stream written by
+// --trace, schema in docs/OBSERVABILITY.md).
+//
+//   madnet_tracestat trace.jsonl             # per-category summary
+//   madnet_tracestat --validate trace.jsonl  # schema + invariant check
+//
+// --validate exits non-zero on the first of: a malformed line, an unknown
+// category, a record before any "run" header, or virtual time running
+// backwards within a run chunk. CI pipes a bench's --trace output through
+// this to keep the emitters and the documented schema honest.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "obs/trace_reader.h"
+#include "util/flags.h"
+
+namespace madnet {
+namespace {
+
+using obs::TraceEvent;
+
+struct RunSummary {
+  uint64_t seed = 0;
+  std::string config;
+  uint64_t records = 0;
+  double first_t = 0.0;
+  double last_t = 0.0;
+  bool saw_timed_record = false;
+};
+
+int Run(const std::string& path, bool validate) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    return 2;
+  }
+
+  std::map<std::string, uint64_t> per_category;
+  std::vector<RunSummary> runs;
+  uint64_t line_number = 0;
+  std::string line;
+  TraceEvent event;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const Status parsed = obs::ParseTraceLine(line, &event);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "error: %s:%llu: %s\n", path.c_str(),
+                   static_cast<unsigned long long>(line_number),
+                   parsed.ToString().c_str());
+      return 1;
+    }
+    per_category[event.cat] += 1;
+    if (event.cat == "run") {
+      runs.push_back({event.seed, event.config, 0, 0.0, 0.0, false});
+      continue;
+    }
+    if (runs.empty()) {
+      std::fprintf(stderr,
+                   "error: %s:%llu: record before any \"run\" header\n",
+                   path.c_str(),
+                   static_cast<unsigned long long>(line_number));
+      return 1;
+    }
+    RunSummary& run = runs.back();
+    run.records += 1;
+    if (run.saw_timed_record && event.t < run.last_t) {
+      std::fprintf(stderr,
+                   "error: %s:%llu: time went backwards within run seed=%llu "
+                   "(%.9f after %.9f)\n",
+                   path.c_str(), static_cast<unsigned long long>(line_number),
+                   static_cast<unsigned long long>(run.seed), event.t,
+                   run.last_t);
+      return 1;
+    }
+    if (!run.saw_timed_record) run.first_t = event.t;
+    run.last_t = event.t;
+    run.saw_timed_record = true;
+  }
+  if (in.bad()) {
+    std::fprintf(stderr, "error: read failure on %s\n", path.c_str());
+    return 2;
+  }
+
+  uint64_t total = 0;
+  for (const auto& [cat, count] : per_category) total += count;
+  std::printf("%s: %llu records, %zu runs\n", path.c_str(),
+              static_cast<unsigned long long>(total), runs.size());
+  for (const auto& [cat, count] : per_category) {
+    std::printf("  %-9s %llu\n", cat.c_str(),
+                static_cast<unsigned long long>(count));
+  }
+  for (const RunSummary& run : runs) {
+    std::printf("  run seed=%llu config=%s records=%llu span=[%.3f, %.3f]\n",
+                static_cast<unsigned long long>(run.seed), run.config.c_str(),
+                static_cast<unsigned long long>(run.records), run.first_t,
+                run.last_t);
+  }
+  if (validate) {
+    if (runs.empty()) {
+      std::fprintf(stderr, "error: %s: no \"run\" header records\n",
+                   path.c_str());
+      return 1;
+    }
+    std::printf("validate: OK\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace madnet
+
+int main(int argc, char** argv) {
+  madnet::FlagSet flags;
+  flags.Define("validate", "false",
+               "exit non-zero unless the file is a well-formed trace");
+  flags.Define("help", "false", "show this help");
+
+  madnet::Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s\n%s", parsed.ToString().c_str(),
+                 flags.Usage("madnet_tracestat [flags] TRACE.jsonl").c_str());
+    return 2;
+  }
+  const auto help = flags.GetBool("help");
+  const bool want_help = help.ok() && *help;
+  if (want_help || flags.positional().size() != 1) {
+    std::fprintf(stderr, "%s",
+                 flags.Usage("madnet_tracestat [flags] TRACE.jsonl").c_str());
+    return want_help ? 0 : 2;
+  }
+  const auto validate = flags.GetBool("validate");
+  return madnet::Run(flags.positional()[0], validate.ok() && *validate);
+}
