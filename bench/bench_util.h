@@ -17,7 +17,7 @@
 // Observability knobs (see docs/OBSERVABILITY.md; flags override env):
 //   MADNET_TRACE / --trace=FILE             — JSONL trace output path.
 //   MADNET_TRACE_CATEGORIES /
-//     --trace-categories=CSV                — event,tx,rx,suppress,sketch,
+//     --trace-categories=CSV                — event,tx,rx,suppress,sketch,fault,
 //                                             all (default), none.
 //   MADNET_TRACE_SAMPLE / --trace-sample=N  — keep every Nth record per
 //                                             category (default 1).

@@ -53,6 +53,23 @@ StatusOr<AdId> OpportunisticGossip::Issue(const AdContent& content,
   return id;
 }
 
+void OpportunisticGossip::OnCrash() {
+  for (uint64_t key : cache_.Keys()) {
+    const sim::EventId timer = cache_.Erase(key);
+    if (timer != sim::kInvalidEventId) context_.simulator->Cancel(timer);
+  }
+}
+
+void OpportunisticGossip::OnRejoin() {
+  // Expired entries are pruned rather than re-announced; survivors go out
+  // immediately. ForEach iterates the cache in its (deterministic)
+  // internal order, same as GossipRound.
+  RefreshCache();
+  cache_.ForEach([this](uint64_t /*key*/, CacheEntry& entry) {
+    Broadcast(MakeGossipPacket(entry.ad));
+  });
+}
+
 double OpportunisticGossip::ProbabilityFor(const Advertisement& ad) const {
   const Time age = ad.AgeAt(context_.simulator->Now());
   const double radius_t =

@@ -102,6 +102,17 @@ class OpportunisticGossip : public Protocol {
   [[nodiscard]] StatusOr<AdId> Issue(const AdContent& content, double radius_m,
                        double duration_s) override;
 
+  /// Crash-with-cache-loss: drops every cached ad and cancels its timer.
+  /// `seen_` survives on purpose — first-receipt metrics and the ranking
+  /// step fire once per (ad, peer) even across a crash, matching
+  /// DeliveryLog's semantics.
+  void OnCrash() override;
+
+  /// Graceful degradation on rejoin: re-announces every live cached ad
+  /// once, so the neighbourhood recovers the state this peer carried
+  /// without waiting for the next gossip round.
+  void OnRejoin() override;
+
   /// Read access for tests and examples.
   const AdCache& cache() const { return cache_; }
   const GossipOptions& options() const { return options_; }

@@ -53,6 +53,17 @@ class Protocol {
   virtual StatusOr<AdId> Issue(const AdContent& content, double radius_m,
                                double duration_s);
 
+  /// Fault-layer notifications (see fault::FaultInjector). The node just
+  /// crashed: it is already offline, and implementations drop whatever
+  /// state would not survive a device reboot (caches, encounter memory).
+  /// Default: no-op.
+  virtual void OnCrash() {}
+
+  /// The node just came back online (after a crash or a graceful off
+  /// period). Implementations may take recovery action, e.g. re-announce
+  /// surviving cached ads to the current neighbourhood. Default: no-op.
+  virtual void OnRejoin() {}
+
  protected:
   /// Packet upcall; `from` is the transmitting node.
   virtual void OnReceive(const net::Packet& packet, net::NodeId from) = 0;

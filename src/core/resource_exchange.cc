@@ -31,6 +31,11 @@ StatusOr<AdId> ResourceExchange::Issue(const AdContent& content,
   return id;
 }
 
+void ResourceExchange::OnCrash() {
+  memory_.clear();
+  last_heard_.clear();
+}
+
 double ResourceExchange::Relevance(const Advertisement& ad,
                                    const Vec2& position, Time now,
                                    const Options& options) {
@@ -97,6 +102,11 @@ bool ResourceExchange::BeaconTick() {
 }
 
 void ResourceExchange::OnEncounter(net::NodeId from) {
+  // The beacon spent 0.5–2 ms in flight; under churn its sender can have
+  // crashed meanwhile. Abort the encounter without consuming it (no
+  // last_heard_ entry), so a batch is never addressed at a dead peer and
+  // the encounter re-fires on the peer's first beacon after rejoining.
+  if (!context_.medium->IsOnline(from)) return;
   const Time now = Now();
   auto [it, inserted] = last_heard_.try_emplace(from, now);
   const bool is_new_encounter =

@@ -61,6 +61,10 @@ class ResourceExchange : public Protocol {
   [[nodiscard]] StatusOr<AdId> Issue(const AdContent& content, double radius_m,
                        double duration_s) override;
 
+  /// Crash-with-state-loss: resource memory and encounter bookkeeping are
+  /// volatile; the node rejoins cold and re-learns both from beacons.
+  void OnCrash() override;
+
   /// Relevance of `ad` for a peer at `position` at time `now` (linear
   /// decay in age and distance; in [0, 1]).
   static double Relevance(const Advertisement& ad, const Vec2& position,

@@ -1,0 +1,113 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+
+#include "fault/fault_injector.h"
+
+#include "util/logging.h"
+
+namespace madnet::fault {
+
+namespace {
+/// Node field of network-wide fault records (loss episodes, outages).
+constexpr uint32_t kNetworkWide = 0xFFFFFFFFu;
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultPlan& plan, sim::Simulator* simulator,
+                             net::Medium* medium, Rng rng)
+    : plan_(plan), simulator_(simulator), medium_(medium), rng_(rng) {
+  MADNET_DCHECK(simulator != nullptr && medium != nullptr);
+  Status valid = plan.Validate();
+  MADNET_DCHECK(valid.ok());
+  (void)valid;
+}
+
+void FaultInjector::Record(const char* kind, uint32_t node, double value) {
+  if (trace_ != nullptr && trace_->Enabled(obs::kTraceFault)) {
+    trace_->Fault(simulator_->Now(), node, kind, value);
+  }
+}
+
+void FaultInjector::Arm(net::NodeId first_node, net::NodeId last_node,
+                        Hooks hooks) {
+  MADNET_DCHECK(!armed_);  // Arm is once-per-run.
+  armed_ = true;
+  hooks_ = std::move(hooks);
+
+  if (plan_.ChurnEnabled()) {
+    // Churner selection and first-down times are drawn now, in id order,
+    // so the schedule is a pure function of (plan, rng seed).
+    for (net::NodeId id = first_node; id <= last_node; ++id) {
+      if (!rng_.Bernoulli(plan_.churn_rate)) continue;
+      churners_.push_back(id);
+      const double first_down =
+          plan_.churn_start_s + rng_.Exponential(plan_.churn_up_s);
+      simulator_->ScheduleAt(first_down, [this, id]() { TakeDown(id); });
+    }
+  }
+  if (plan_.LossEpisodesEnabled()) {
+    const double start = plan_.loss_start_s;
+    simulator_->ScheduleAt(start,
+                           [this, start]() { BeginLossEpisode(start); });
+  }
+  if (plan_.OutageEnabled()) {
+    simulator_->ScheduleAt(plan_.outage_start_s, [this]() { BeginOutage(); });
+    simulator_->ScheduleAt(plan_.outage_end_s, [this]() { EndOutage(); });
+  }
+}
+
+void FaultInjector::TakeDown(net::NodeId id) {
+  Status off = medium_->SetOnline(id, false);
+  MADNET_DCHECK(off.ok());  // Churners are registered nodes.
+  (void)off;
+  stats_.node_downs += 1;
+  if (plan_.churn_crash) {
+    stats_.crashes += 1;
+    Record("crash", id, 0.0);
+    if (hooks_.on_crash) hooks_.on_crash(id);
+  } else {
+    Record("down", id, 0.0);
+  }
+  const double dwell = rng_.Exponential(plan_.churn_down_s);
+  simulator_->Schedule(dwell, [this, id]() { BringUp(id); });
+}
+
+void FaultInjector::BringUp(net::NodeId id) {
+  Status on = medium_->SetOnline(id, true);
+  MADNET_DCHECK(on.ok());
+  (void)on;
+  stats_.node_rejoins += 1;
+  Record("up", id, 0.0);
+  if (hooks_.on_rejoin) hooks_.on_rejoin(id);
+  const double dwell = rng_.Exponential(plan_.churn_up_s);
+  simulator_->Schedule(dwell, [this, id]() { TakeDown(id); });
+}
+
+void FaultInjector::BeginLossEpisode(double start_time) {
+  medium_->SetExtraLoss(plan_.loss_extra);
+  stats_.loss_episodes += 1;
+  Record("loss_on", kNetworkWide, plan_.loss_extra);
+  simulator_->Schedule(plan_.loss_episode_s, [this]() { EndLossEpisode(); });
+  if (plan_.loss_period_s > 0.0) {
+    // Episodes are periodic; the chain advances lazily, one link per
+    // episode, and simply stops executing past the simulation horizon.
+    const double next = start_time + plan_.loss_period_s;
+    simulator_->ScheduleAt(next, [this, next]() { BeginLossEpisode(next); });
+  }
+}
+
+void FaultInjector::EndLossEpisode() {
+  medium_->SetExtraLoss(0.0);
+  Record("loss_off", kNetworkWide, 0.0);
+}
+
+void FaultInjector::BeginOutage() {
+  medium_->SetJamZones({plan_.outage_rect});
+  stats_.outages += 1;
+  Record("jam_on", kNetworkWide, plan_.outage_rect.Area());
+}
+
+void FaultInjector::EndOutage() {
+  medium_->SetJamZones({});
+  Record("jam_off", kNetworkWide, 0.0);
+}
+
+}  // namespace madnet::fault

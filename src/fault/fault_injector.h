@@ -1,0 +1,85 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+//
+// Expands a FaultPlan into concrete simulator events against one run's
+// Medium and protocol set. The injector owns a dedicated RNG stream forked
+// from the replication seed (label "FAUL"), draws from it only inside
+// simulator events (whose order is fixed by the deterministic event
+// queue), and never touches the medium's or any protocol's stream — so
+// enabling faults perturbs nothing else, and a faulted run is bit-identical
+// at any --jobs value. One injector serves one Scenario; concurrent
+// replications each build their own.
+
+#ifndef MADNET_FAULT_FAULT_INJECTOR_H_
+#define MADNET_FAULT_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "net/medium.h"
+#include "obs/trace.h"
+#include "sim/simulator.h"
+#include "util/random.h"
+
+namespace madnet::fault {
+
+/// Cumulative counts of injected fault events over one run.
+struct FaultStats {
+  uint64_t node_downs = 0;     ///< Churner off transitions (crashes included).
+  uint64_t node_rejoins = 0;   ///< Churner back-online transitions.
+  uint64_t crashes = 0;        ///< Downs that also wiped volatile state.
+  uint64_t loss_episodes = 0;  ///< Loss-episode windows begun.
+  uint64_t outages = 0;        ///< Jammer activations.
+};
+
+class FaultInjector {
+ public:
+  /// Per-node notifications into the protocol layer. Both optional.
+  struct Hooks {
+    /// The node just crashed (offline + volatile state loss).
+    std::function<void(net::NodeId)> on_crash;
+    /// The node just came back online (after a crash or a graceful down).
+    std::function<void(net::NodeId)> on_rejoin;
+  };
+
+  /// `simulator` and `medium` are borrowed and must outlive the injector.
+  /// `rng` is this injector's private stream (fork it from the replication
+  /// root with a fixed label).
+  FaultInjector(const FaultPlan& plan, sim::Simulator* simulator,
+                net::Medium* medium, Rng rng);
+
+  /// Optional kTraceFault sink; must outlive the injector or be cleared.
+  void SetTrace(obs::Trace* trace) { trace_ = trace; }
+
+  /// Selects the churners among node ids [first_node, last_node] (one
+  /// Bernoulli(churn_rate) per id, in id order) and schedules the plan's
+  /// initial events. Call exactly once, before the simulation runs.
+  void Arm(net::NodeId first_node, net::NodeId last_node, Hooks hooks);
+
+  const FaultStats& stats() const { return stats_; }
+  const std::vector<net::NodeId>& churners() const { return churners_; }
+
+ private:
+  void TakeDown(net::NodeId id);
+  void BringUp(net::NodeId id);
+  void BeginLossEpisode(double start_time);
+  void EndLossEpisode();
+  void BeginOutage();
+  void EndOutage();
+  void Record(const char* kind, uint32_t node, double value);
+
+  FaultPlan plan_;
+  sim::Simulator* simulator_;
+  net::Medium* medium_;
+  Rng rng_;
+  obs::Trace* trace_ = nullptr;
+  Hooks hooks_;
+  std::vector<net::NodeId> churners_;
+  FaultStats stats_;
+  bool armed_ = false;
+};
+
+}  // namespace madnet::fault
+
+#endif  // MADNET_FAULT_FAULT_INJECTOR_H_

@@ -1,0 +1,58 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+
+#include "fault/fault_plan.h"
+
+#include <cmath>
+
+namespace madnet::fault {
+
+Status FaultPlan::Validate() const {
+  if (!(churn_rate >= 0.0 && churn_rate <= 1.0)) {
+    return Status::InvalidArgument("churn_rate must be in [0, 1]");
+  }
+  if (ChurnEnabled()) {
+    if (!(churn_up_s > 0.0) || !(churn_down_s > 0.0)) {
+      return Status::InvalidArgument(
+          "churn dwell means (churn_up, churn_down) must be positive");
+    }
+    if (churn_start_s < 0.0) {
+      return Status::InvalidArgument("churn_start must be non-negative");
+    }
+  }
+  if (!(loss_extra >= 0.0 && loss_extra <= 1.0)) {
+    return Status::InvalidArgument("loss_extra must be in [0, 1]");
+  }
+  if (LossEpisodesEnabled()) {
+    if (!(loss_episode_s > 0.0)) {
+      return Status::InvalidArgument(
+          "loss_episode must be positive when loss_extra > 0");
+    }
+    if (loss_start_s < 0.0 || loss_period_s < 0.0) {
+      return Status::InvalidArgument(
+          "loss_start and loss_period must be non-negative");
+    }
+    if (loss_period_s > 0.0 && loss_period_s < loss_episode_s) {
+      return Status::InvalidArgument(
+          "loss_period must be >= loss_episode (episodes must not overlap)");
+    }
+  }
+  if (outage_rect.Width() < 0.0 || outage_rect.Height() < 0.0) {
+    return Status::InvalidArgument("outage rectangle has negative extent");
+  }
+  if (OutageEnabled()) {
+    if (outage_start_s < 0.0 || outage_end_s <= outage_start_s) {
+      return Status::InvalidArgument(
+          "outage needs 0 <= outage_start < outage_end");
+    }
+  }
+  if (!std::isfinite(churn_rate) || !std::isfinite(churn_up_s) ||
+      !std::isfinite(churn_down_s) || !std::isfinite(churn_start_s) ||
+      !std::isfinite(loss_extra) || !std::isfinite(loss_episode_s) ||
+      !std::isfinite(loss_period_s) || !std::isfinite(loss_start_s) ||
+      !std::isfinite(outage_start_s) || !std::isfinite(outage_end_s)) {
+    return Status::InvalidArgument("fault plan fields must be finite");
+  }
+  return Status::Ok();
+}
+
+}  // namespace madnet::fault

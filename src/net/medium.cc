@@ -48,8 +48,18 @@ Status Medium::SetReceiver(NodeId id, ReceiveHandler handler) {
 Status Medium::SetOnline(NodeId id, bool online) {
   const uint32_t index = IndexOf(id);
   if (index == kNotFound) return Status::NotFound("unknown node id");
+  // Index rebuilds skip offline nodes, so a node coming back must become
+  // queryable immediately: force a rebuild at the next query. Going
+  // offline needs none — queries filter on the live flag anyway.
+  if (online && !states_[index].online) index_time_ = -1.0;
   states_[index].online = online;
   return Status::Ok();
+}
+
+void Medium::SetExtraLoss(double probability) {
+  MADNET_DCHECK(probability >= 0.0 && probability <= 1.0 &&
+                std::isfinite(probability));
+  extra_loss_ = probability;
 }
 
 uint64_t Medium::SentBy(NodeId id) const {
@@ -97,6 +107,11 @@ double Medium::RefreshIndex() const {
     rebuild_scratch_.clear();
     rebuild_scratch_.reserve(states_.size());
     for (uint32_t i = 0; i < states_.size(); ++i) {
+      // Offline nodes are excluded: under heavy churn they would bloat
+      // every query's candidate set just to be filtered out one by one.
+      // SetOnline(…, true) forces a rebuild, so exclusion never hides a
+      // node that has come back.
+      if (!states_[i].online) continue;
       rebuild_scratch_.emplace_back(
           static_cast<NodeId>(i), states_[i].mobility->PositionAt(now));
     }
@@ -171,29 +186,20 @@ Status Medium::Broadcast(NodeId from, const Packet& packet) {
   // All delivery lambdas of this broadcast share one heap copy of the
   // packet (allocated on the first scheduled delivery), instead of N
   // independent Packet copies.
+  // Loss, fading, and collisions are all decided in DeliverTo, at delivery
+  // time: a frame that will be lost still arrives at the receiver's radio
+  // and must contend in its collision window, and a receiver that churns
+  // offline mid-flight is charged dropped_offline, not dropped_loss.
   std::shared_ptr<const Packet> shared;
   for (uint32_t to : NeighborIndicesOf(origin, options_.range_m)) {
     if (to == from_index) continue;
-    if (rng_.Bernoulli(options_.loss_probability)) {
-      stats_.dropped_loss += 1;
-      continue;
-    }
-    if (options_.fading_exponent > 0.0) {
-      const double fraction =
-          Distance(states_[to].mobility->PositionAt(now), origin) /
-          options_.range_m;
-      if (rng_.Bernoulli(std::pow(fraction, options_.fading_exponent))) {
-        stats_.dropped_loss += 1;
-        continue;
-      }
-    }
     const double latency =
         rng_.Uniform(options_.min_latency_s, options_.max_latency_s);
     MADNET_DCHECK(latency >= options_.min_latency_s &&
                   latency <= options_.max_latency_s);
     if (!shared) shared = std::make_shared<const Packet>(packet);
-    simulator_->Schedule(latency, [this, from, to, shared]() {
-      DeliverTo(to, from, *shared);
+    simulator_->Schedule(latency, [this, from, to, origin, shared]() {
+      DeliverTo(to, from, origin, *shared);
     });
   }
   return Status::Ok();
@@ -259,7 +265,9 @@ void Medium::CsmaTransmit(uint32_t from_index, Packet packet) {
       stats_.dropped_collision += 1;
       continue;
     }
-    if (rng_.Bernoulli(options_.loss_probability)) {
+    // CSMA decides loss when the frame starts occupying the receiver
+    // (capture is already resolved); episode loss applies here too.
+    if (rng_.Bernoulli(EffectiveLossProbability())) {
       stats_.dropped_loss += 1;
       continue;
     }
@@ -279,6 +287,11 @@ void Medium::CsmaTransmit(uint32_t from_index, Packet packet) {
         stats_.dropped_offline += 1;
         return;
       }
+      if (!jam_zones_.empty() &&
+          Jammed(state.mobility->PositionAt(simulator_->Now()))) {
+        stats_.dropped_jammed += 1;
+        return;
+      }
       stats_.deliveries += 1;
       state.received += 1;
       state.received_bytes += shared->size_bytes;
@@ -290,24 +303,70 @@ void Medium::CsmaTransmit(uint32_t from_index, Packet packet) {
   }
 }
 
-void Medium::DeliverTo(uint32_t to_index, NodeId from, const Packet& packet) {
+double Medium::EffectiveLossProbability() const {
+  if (extra_loss_ <= 0.0) return options_.loss_probability;
+  const double combined = options_.loss_probability + extra_loss_;
+  return combined < 1.0 ? combined : 1.0;
+}
+
+bool Medium::Jammed(const Vec2& position) const {
+  for (const Rect& zone : jam_zones_) {
+    if (zone.Contains(position)) return true;
+  }
+  return false;
+}
+
+void Medium::DeliverTo(uint32_t to_index, NodeId from, const Vec2& origin,
+                       const Packet& packet) {
   NodeState& state = states_[to_index];
   if (!state.online) {
+    // Churned/crashed away while the frame was in flight: charged here and
+    // nowhere else (the radio never saw the frame, so no loss draw and no
+    // collision-window contention).
     stats_.dropped_offline += 1;
     return;
   }
   const Time now = simulator_->Now();
-  if (options_.enable_collisions && state.last_rx_time >= 0.0 &&
-      state.last_rx_from != from &&
-      now - state.last_rx_time < options_.collision_window_s) {
-    // Two frames from different senders overlap at this receiver.
-    stats_.dropped_collision += 1;
-    state.last_rx_time = now;
-    state.last_rx_from = from;
+  if (!jam_zones_.empty() &&
+      Jammed(state.mobility->PositionAt(now))) {
+    stats_.dropped_jammed += 1;
     return;
   }
-  state.last_rx_time = now;
-  state.last_rx_from = from;
+  if (options_.enable_collisions) {
+    if (state.last_rx_time >= 0.0 &&
+        now - state.last_rx_time < options_.collision_window_s &&
+        (state.rx_garbled || state.last_rx_from != from)) {
+      // This frame overlaps an earlier arrival from another sender (or a
+      // window already garbled by a collision). Both are lost, and the
+      // window stays garbled: a third overlapping frame collides too, even
+      // one from the sender whose earlier frame opened the window. Only
+      // back-to-back frames from one sender in a *clean* window survive —
+      // that is serialization at the sender's MAC, not a collision.
+      stats_.dropped_collision += 1;
+      state.last_rx_time = now;
+      state.rx_garbled = true;
+      return;
+    }
+    // From here the frame occupies the receiver's window whether or not
+    // it decodes: random loss and fading destroy the payload, not the RF
+    // energy that later frames must contend with.
+    state.last_rx_time = now;
+    state.last_rx_from = from;
+    state.rx_garbled = false;
+  }
+  const double loss = EffectiveLossProbability();
+  if (loss > 0.0 && rng_.Bernoulli(loss)) {
+    stats_.dropped_loss += 1;
+    return;
+  }
+  if (options_.fading_exponent > 0.0) {
+    const double fraction =
+        Distance(state.mobility->PositionAt(now), origin) / options_.range_m;
+    if (rng_.Bernoulli(std::pow(fraction, options_.fading_exponent))) {
+      stats_.dropped_loss += 1;
+      return;
+    }
+  }
   stats_.deliveries += 1;
   state.received += 1;
   state.received_bytes += packet.size_bytes;

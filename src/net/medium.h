@@ -47,6 +47,7 @@ struct MediumStats {
   uint64_t dropped_loss = 0;        ///< Per-receiver random losses.
   uint64_t dropped_collision = 0;   ///< Per-receiver collision losses.
   uint64_t dropped_offline = 0;     ///< Receiver was offline at delivery.
+  uint64_t dropped_jammed = 0;      ///< Receiver was inside a jammed zone.
   uint64_t dropped_mac_busy = 0;    ///< CSMA: frame gave up after retries.
   uint64_t mac_defers = 0;          ///< CSMA: busy-channel backoffs taken.
 };
@@ -110,7 +111,8 @@ class Medium {
   [[nodiscard]] Status SetReceiver(NodeId id, ReceiveHandler handler);
 
   /// Marks a node on/off-line. Offline nodes neither send nor receive
-  /// (the paper's issuer "goes off-line" after seeding the ad).
+  /// (the paper's issuer "goes off-line" after seeding the ad, and the
+  /// fault layer's churn duty-cycles peers through here).
   [[nodiscard]] Status SetOnline(NodeId id, bool online);
 
   /// True iff the node exists and is online.
@@ -142,6 +144,22 @@ class Medium {
   /// successful delivery. Must outlive the medium or be cleared first.
   void SetTrace(obs::Trace* trace) { trace_ = trace; }
 
+  /// --- Fault hooks (driven by fault::FaultInjector; see docs/FAULTS.md) ---
+
+  /// Loss probability added to Options::loss_probability for the duration
+  /// of a loss episode; the sum is clamped to [0, 1] at each delivery.
+  /// Applies to frames *delivered* from now on, including ones already in
+  /// flight (loss is decided at delivery time).
+  void SetExtraLoss(double probability);
+  double extra_loss() const { return extra_loss_; }
+
+  /// Replaces the set of jammed rectangles. While a receiver's position at
+  /// delivery time lies inside any zone it decodes nothing
+  /// (dropped_jammed). Senders inside a zone still transmit: jamming is a
+  /// receive-side condition.
+  void SetJamZones(std::vector<Rect> zones) { jam_zones_ = std::move(zones); }
+  const std::vector<Rect>& jam_zones() const { return jam_zones_; }
+
   /// Cumulative traffic counters.
   const MediumStats& stats() const { return stats_; }
 
@@ -168,9 +186,13 @@ class Medium {
     uint64_t sent_bytes = 0;      // Bytes transmitted by this node.
     uint64_t received = 0;        // Frames delivered to this node.
     uint64_t received_bytes = 0;  // Bytes delivered to this node.
-    // Collision model: time and sender of the most recent reception.
+    // Collision model: time and sender of the most recent frame arrival,
+    // and whether that arrival garbled the window (a collision already
+    // happened inside it, so every further overlapping frame collides
+    // regardless of sender).
     Time last_rx_time = -1.0;
     NodeId last_rx_from = kInvalidNodeId;
+    bool rx_garbled = false;
     // CSMA: the channel at this node is occupied until this instant.
     Time channel_busy_until = -1.0;
   };
@@ -194,7 +216,18 @@ class Medium {
   const std::vector<uint32_t>& NeighborIndicesOf(const Vec2& center,
                                                  double radius) const;
 
-  void DeliverTo(uint32_t to_index, NodeId from, const Packet& packet);
+  /// Delivery-time endpoint of the non-CSMA path: offline / jamming /
+  /// collision / loss / fading are all decided here, when the frame
+  /// arrives. `origin` is the sender's position at transmit time (for the
+  /// fading distance).
+  void DeliverTo(uint32_t to_index, NodeId from, const Vec2& origin,
+                 const Packet& packet);
+
+  /// Combined base + episode loss probability, clamped to [0, 1].
+  double EffectiveLossProbability() const;
+
+  /// True iff `position` lies inside any active jam zone.
+  bool Jammed(const Vec2& position) const;
 
   /// CSMA: one carrier-sense attempt; transmits, or reschedules itself
   /// after a backoff while the channel at the sender is busy. The packet
@@ -215,6 +248,8 @@ class Medium {
   mutable SpatialIndex index_;
   mutable Time index_time_ = -1.0;
   MediumStats stats_;
+  double extra_loss_ = 0.0;      // Episode loss added by the fault layer.
+  std::vector<Rect> jam_zones_;  // Active jammer rectangles (usually 0-1).
   BroadcastObserver observer_;
   obs::Trace* trace_ = nullptr;
 

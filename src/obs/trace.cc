@@ -25,6 +25,7 @@ const char* TraceCategoryName(uint32_t category) {
     case kTraceRx: return "rx";
     case kTraceSuppress: return "suppress";
     case kTraceSketch: return "sketch";
+    case kTraceFault: return "fault";
   }
   return "?";
 }
@@ -45,10 +46,11 @@ const char* TraceCategoryName(uint32_t category) {
     else if (name == "rx") mask |= kTraceRx;
     else if (name == "suppress") mask |= kTraceSuppress;
     else if (name == "sketch") mask |= kTraceSketch;
+    else if (name == "fault") mask |= kTraceFault;
     else {
       return Status::InvalidArgument(
           "unknown trace category '" + name +
-          "' (want event, tx, rx, suppress, sketch, all, none)");
+          "' (want event, tx, rx, suppress, sketch, fault, all, none)");
     }
     name.clear();
   }
@@ -137,6 +139,16 @@ void Trace::SketchMerge(double t, uint32_t node, uint64_t ad_key) {
   std::snprintf(buf, sizeof(buf),
                 "{\"cat\":\"sketch\",\"t\":%.9f,\"node\":%u,\"ad\":%llu}\n", t,
                 node, static_cast<unsigned long long>(ad_key));
+  text_ += buf;
+}
+
+void Trace::Fault(double t, uint32_t node, const char* kind, double value) {
+  if (!Enabled(kTraceFault) || !Sample(kTraceFault)) return;
+  char buf[144];
+  std::snprintf(buf, sizeof(buf),
+                "{\"cat\":\"fault\",\"t\":%.9f,\"node\":%u,"
+                "\"reason\":\"%s\",\"v\":%.9g}\n",
+                t, node, kind, value);
   text_ += buf;
 }
 

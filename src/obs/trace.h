@@ -21,6 +21,7 @@
 //   {"cat":"rx","t":…,"from":5,"node":9,"bytes":64}
 //   {"cat":"suppress","t":…,"node":5,"ad":…,"reason":"bernoulli","v":0.25}
 //   {"cat":"sketch","t":…,"node":5,"ad":…}
+//   {"cat":"fault","t":…,"node":5,"reason":"crash","v":0}
 
 #ifndef MADNET_OBS_TRACE_H_
 #define MADNET_OBS_TRACE_H_
@@ -38,11 +39,13 @@ inline constexpr uint32_t kTraceTx = 1u << 1;        ///< Broadcast sent.
 inline constexpr uint32_t kTraceRx = 1u << 2;        ///< Frame delivered.
 inline constexpr uint32_t kTraceSuppress = 1u << 3;  ///< Gossip suppressed.
 inline constexpr uint32_t kTraceSketch = 1u << 4;    ///< FM sketch merge.
-inline constexpr uint32_t kTraceAll =
-    kTraceEvent | kTraceTx | kTraceRx | kTraceSuppress | kTraceSketch;
+inline constexpr uint32_t kTraceFault = 1u << 5;     ///< Injected fault.
+inline constexpr uint32_t kTraceAll = kTraceEvent | kTraceTx | kTraceRx |
+                                      kTraceSuppress | kTraceSketch |
+                                      kTraceFault;
 
 /// Number of distinct categories (for per-category sampling state).
-inline constexpr int kTraceCategoryCount = 5;
+inline constexpr int kTraceCategoryCount = 6;
 
 /// The short name used in records and --trace-categories ("event", "tx",
 /// ...). `category` must be exactly one bit of kTraceAll.
@@ -81,6 +84,10 @@ class Trace {
   void Suppress(double t, uint32_t node, uint64_t ad_key, const char* reason,
                 double value);
   void SketchMerge(double t, uint32_t node, uint64_t ad_key);
+  /// Injected fault: `kind` is "down"/"crash"/"up" (node-scoped) or
+  /// "loss_on"/"loss_off"/"jam_on"/"jam_off" (network-wide; node is
+  /// 0xFFFFFFFF). `value` carries the episode loss / jammed area.
+  void Fault(double t, uint32_t node, const char* kind, double value);
 
   /// The JSONL text so far (one record per line, each '\n'-terminated).
   const std::string& text() const { return text_; }

@@ -129,7 +129,7 @@ struct Cursor {
   if (!cursor.rest.empty()) return Malformed(line);
   if (event->cat != "run" && event->cat != "event" && event->cat != "tx" &&
       event->cat != "rx" && event->cat != "suppress" &&
-      event->cat != "sketch") {
+      event->cat != "sketch" && event->cat != "fault") {
     return Status::InvalidArgument("unknown trace category: " + event->cat);
   }
   return Status::Ok();

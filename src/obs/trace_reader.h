@@ -20,7 +20,8 @@ namespace madnet::obs {
 /// One parsed trace record. Only the fields present on the line are set;
 /// everything else keeps its default. `cat` is always set on success.
 struct TraceEvent {
-  std::string cat;      ///< "run", "event", "tx", "rx", "suppress", "sketch".
+  std::string cat;      ///< "run", "event", "tx", "rx", "suppress",
+                        ///< "sketch", "fault".
   double t = 0.0;       ///< Virtual sim time (absent on "run" records).
   uint64_t seq = 0;     ///< Event sequence number ("event").
   uint32_t node = 0;    ///< Acting / receiving node index.

@@ -88,6 +88,8 @@ Status ScenarioConfig::Validate() const {
     return Status::InvalidArgument(
         "medium.max_speed_mps must cover the fastest mobile peer");
   }
+  Status fault_valid = fault.Validate();
+  if (!fault_valid.ok()) return fault_valid;
   return Status::Ok();
 }
 

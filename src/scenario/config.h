@@ -14,6 +14,7 @@
 #include "core/opportunistic_gossip.h"
 #include "core/resource_exchange.h"
 #include "core/restricted_flooding.h"
+#include "fault/fault_plan.h"
 #include "net/medium.h"
 #include "util/status.h"
 
@@ -99,6 +100,10 @@ struct ScenarioConfig {
 
   // --- PHY / MAC ---
   net::Medium::Options medium;
+
+  // --- Fault injection (churn / loss episodes / outage; all off by
+  // default — see docs/FAULTS.md) ---
+  fault::FaultPlan fault;
 
   // --- Interests (ranking experiments only) ---
   bool assign_interests = false;

@@ -131,6 +131,22 @@ Status ApplyConfigKey(const std::string& key, const std::string& value,
     return s;
   }
   if (key == "issuer_offline") return as_bool(&config->issuer_goes_offline);
+  // Fault-plan keys (docs/FAULTS.md). All off by default.
+  if (key == "churn_rate") return as_double(&config->fault.churn_rate);
+  if (key == "churn_up") return as_double(&config->fault.churn_up_s);
+  if (key == "churn_down") return as_double(&config->fault.churn_down_s);
+  if (key == "churn_crash") return as_bool(&config->fault.churn_crash);
+  if (key == "churn_start") return as_double(&config->fault.churn_start_s);
+  if (key == "loss_extra") return as_double(&config->fault.loss_extra);
+  if (key == "loss_episode") return as_double(&config->fault.loss_episode_s);
+  if (key == "loss_period") return as_double(&config->fault.loss_period_s);
+  if (key == "loss_start") return as_double(&config->fault.loss_start_s);
+  if (key == "outage_x0") return as_double(&config->fault.outage_rect.min.x);
+  if (key == "outage_y0") return as_double(&config->fault.outage_rect.min.y);
+  if (key == "outage_x1") return as_double(&config->fault.outage_rect.max.x);
+  if (key == "outage_y1") return as_double(&config->fault.outage_rect.max.y);
+  if (key == "outage_start") return as_double(&config->fault.outage_start_s);
+  if (key == "outage_end") return as_double(&config->fault.outage_end_s);
   if (key == "seed") {
     auto parsed = ParseInt(value);
     if (!parsed.ok()) return parsed.status();
@@ -204,6 +220,22 @@ std::string SaveConfigText(const ScenarioConfig& config) {
   out << "ranking = " << (config.gossip.ranking ? "true" : "false") << '\n';
   out << "issuer_offline = "
       << (config.issuer_goes_offline ? "true" : "false") << '\n';
+  number("churn_rate", config.fault.churn_rate);
+  number("churn_up", config.fault.churn_up_s);
+  number("churn_down", config.fault.churn_down_s);
+  out << "churn_crash = "
+      << (config.fault.churn_crash ? "true" : "false") << '\n';
+  number("churn_start", config.fault.churn_start_s);
+  number("loss_extra", config.fault.loss_extra);
+  number("loss_episode", config.fault.loss_episode_s);
+  number("loss_period", config.fault.loss_period_s);
+  number("loss_start", config.fault.loss_start_s);
+  number("outage_x0", config.fault.outage_rect.min.x);
+  number("outage_y0", config.fault.outage_rect.min.y);
+  number("outage_x1", config.fault.outage_rect.max.x);
+  number("outage_y1", config.fault.outage_rect.max.y);
+  number("outage_start", config.fault.outage_start_s);
+  number("outage_end", config.fault.outage_end_s);
   out << "seed = " << config.seed << '\n';
   return out.str();
 }

@@ -25,7 +25,10 @@ namespace madnet::scenario {
 /// malformed values return InvalidArgument. Keys match madnet_run's flag
 /// names (method, mobility, peers, area, radius, duration, sim_time,
 /// issue_time, speed, speed_delta, round, alpha, beta, dis, cache, range,
-/// loss, collisions, csma, ranking, issuer_offline, seed).
+/// loss, collisions, csma, ranking, issuer_offline, seed) plus the fault
+/// plan (churn_rate, churn_up, churn_down, churn_crash, churn_start,
+/// loss_extra, loss_episode, loss_period, loss_start, outage_x0/y0/x1/y1,
+/// outage_start, outage_end — see docs/FAULTS.md).
 [[nodiscard]]
 Status ApplyConfigKey(const std::string& key, const std::string& value,
                       ScenarioConfig* config);

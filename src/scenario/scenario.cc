@@ -86,6 +86,25 @@ Scenario::Scenario(const ScenarioConfig& config, obs::RunContext* obs)
     protocols_.push_back(MakeProtocol(id, root.Fork(0x20000 + id)));
     protocols_.back()->Start();
   }
+
+  if (config_.fault.Enabled()) {
+    // The injector draws from its own labelled fork, so enabling faults
+    // leaves the medium/mobility/protocol streams untouched.
+    injector_ = std::make_unique<fault::FaultInjector>(
+        config_.fault, &simulator_, medium_.get(),
+        root.Fork(0x4641554C));  // "FAUL"
+    if (obs_ != nullptr) injector_->SetTrace(&obs_->trace);
+    fault::FaultInjector::Hooks hooks;
+    hooks.on_crash = [this](net::NodeId id) { protocols_[id]->OnCrash(); };
+    hooks.on_rejoin = [this](net::NodeId id) { protocols_[id]->OnRejoin(); };
+    // Only mobile peers churn; the issuer's availability is governed by
+    // issuer_goes_offline alone.
+    if (config_.num_peers > 0) {
+      injector_->Arm(issuer_id() + 1,
+                     issuer_id() + static_cast<net::NodeId>(config_.num_peers),
+                     std::move(hooks));
+    }
+  }
 }
 
 Scenario::~Scenario() = default;
@@ -178,15 +197,20 @@ RunResult Scenario::Run() {
   RunResult result;
   // Issue the advertisement at the configured time.
   simulator_.ScheduleAt(config_.issue_time_s, [this, &result]() {
-    auto issued = protocols_[0]->Issue(config_.content,
-                                       config_.initial_radius_m,
-                                       config_.initial_duration_s);
+    auto issued = protocols_[issuer_id()]->Issue(config_.content,
+                                                 config_.initial_radius_m,
+                                                 config_.initial_duration_s);
     assert(issued.ok());
     result.ad_key = issued->Key();
     issued_ad_key_ = result.ad_key;
     if (config_.method != Method::kFlooding && config_.issuer_goes_offline) {
       simulator_.Schedule(kIssuerOfflineDelay, [this]() {
-        (void)medium_->SetOnline(0, false);
+        const Status off = medium_->SetOnline(issuer_id(), false);
+        if (!off.ok()) {
+          MADNET_LOG_ERROR("issuer %u could not go offline: %s",
+                           static_cast<unsigned>(issuer_id()),
+                           off.message().c_str());
+        }
       });
     }
   });
@@ -208,6 +232,7 @@ RunResult Scenario::Run() {
   }
   result.report = ComputeDeliveryReport(tracker, delivery_log_, result.ad_key);
   result.net = medium_->stats();
+  if (injector_ != nullptr) result.fault = injector_->stats();
   result.events_executed = simulator_.ExecutedEvents();
 
   // Ranking evidence: the most-enlarged surviving copy of the ad.
@@ -239,8 +264,16 @@ void Scenario::CaptureMetrics(const RunResult& result) {
   *metrics.Counter("net.dropped_loss") += result.net.dropped_loss;
   *metrics.Counter("net.dropped_collision") += result.net.dropped_collision;
   *metrics.Counter("net.dropped_offline") += result.net.dropped_offline;
+  *metrics.Counter("net.dropped_jammed") += result.net.dropped_jammed;
   *metrics.Counter("net.dropped_mac_busy") += result.net.dropped_mac_busy;
   *metrics.Counter("net.mac_defers") += result.net.mac_defers;
+  if (injector_ != nullptr) {
+    *metrics.Counter("fault.node_downs") += result.fault.node_downs;
+    *metrics.Counter("fault.node_rejoins") += result.fault.node_rejoins;
+    *metrics.Counter("fault.crashes") += result.fault.crashes;
+    *metrics.Counter("fault.loss_episodes") += result.fault.loss_episodes;
+    *metrics.Counter("fault.outages") += result.fault.outages;
+  }
   metrics
       .Histogram("scenario.delivery_rate_percent",
                  {10, 20, 30, 40, 50, 60, 70, 80, 90, 100})

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/protocol.h"
+#include "fault/fault_injector.h"
 #include "mobility/mobility_model.h"
 #include "mobility/trace_io.h"
 #include "net/medium.h"
@@ -26,6 +27,8 @@ namespace madnet::scenario {
 struct RunResult {
   stats::DeliveryReport report;   ///< Delivery rate & delivery times.
   net::MediumStats net;           ///< Message/byte/drop counters.
+  fault::FaultStats fault;        ///< Injected-fault counters (all zero
+                                  ///< when the config's plan is disabled).
   uint64_t events_executed = 0;   ///< Simulator events (sanity/efficiency).
   uint64_t ad_key = 0;            ///< The issued advertisement's key.
   double final_rank = 0.0;        ///< FM rank estimate at end of run (0 when
@@ -63,7 +66,10 @@ class Scenario {
   RunResult Run();
 
   /// The node id of the issuer (the stationary node at issue_location).
-  net::NodeId issuer_id() const { return 0; }
+  /// Everything issuer-related — Issue(), the issuer_goes_offline event,
+  /// the fault layer's churner exclusion — routes through this accessor,
+  /// never a literal node id.
+  net::NodeId issuer_id() const { return kIssuerId; }
 
   /// Peer ids are 1..num_peers.
   int num_peers() const { return config_.num_peers; }
@@ -93,6 +99,9 @@ class Scenario {
   const ScenarioConfig& config() const { return config_; }
 
  private:
+  /// Node 0 is the issuer by construction (first node registered).
+  static constexpr net::NodeId kIssuerId = 0;
+
   /// Creates the protocol instance for one node per config_.method.
   std::unique_ptr<core::Protocol> MakeProtocol(net::NodeId id, Rng rng);
 
@@ -111,6 +120,9 @@ class Scenario {
   stats::DeliveryLog delivery_log_;
   std::vector<std::unique_ptr<mobility::MobilityModel>> mobilities_;
   std::vector<std::unique_ptr<core::Protocol>> protocols_;
+  /// Expands config_.fault into simulator events; null when the plan is
+  /// disabled (the run is then byte-identical to a pre-fault-layer one).
+  std::unique_ptr<fault::FaultInjector> injector_;
   uint64_t issued_ad_key_ = 0;
   bool ran_ = false;
 };

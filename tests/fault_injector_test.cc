@@ -1,0 +1,406 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+//
+// The fault layer's contract: a FaultPlan expands into deterministic churn
+// / loss-episode / outage events, the medium reflects each fault while it
+// is active, protocol hooks fire in the right states, and the whole thing
+// reproduces exactly from the same seed.
+
+#include "fault/fault_injector.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/opportunistic_gossip.h"
+#include "core/resource_exchange.h"
+#include "fault/fault_plan.h"
+#include "mobility/constant_velocity.h"
+#include "net/medium.h"
+#include "scenario/scenario.h"
+#include "sim/simulator.h"
+#include "stats/delivery.h"
+#include "util/random.h"
+
+namespace madnet::fault {
+namespace {
+
+using core::AdContent;
+using mobility::Stationary;
+using net::Medium;
+using net::NodeId;
+using sim::Simulator;
+
+AdContent PetrolAd() { return {"petrol", {"discount"}, "cheap fuel"}; }
+
+/// A medium with `n` stationary nodes on a line, 100 m apart.
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  void Build(int n, Medium::Options options = {}) {
+    medium_ = std::make_unique<Medium>(options, &sim_, Rng(5));
+    for (int i = 0; i < n; ++i) {
+      mobilities_.push_back(
+          std::make_unique<Stationary>(Vec2{i * 100.0, 0.0}));
+      ASSERT_TRUE(
+          medium_->AddNode(static_cast<NodeId>(i), mobilities_.back().get())
+              .ok());
+    }
+  }
+
+  Simulator sim_;
+  std::unique_ptr<Medium> medium_;
+  std::vector<std::unique_ptr<Stationary>> mobilities_;
+};
+
+TEST_F(FaultInjectorTest, ChurnDutyCyclesSelectedPeers) {
+  Build(6);
+  FaultPlan plan;
+  plan.churn_rate = 1.0;  // Every armed peer churns.
+  plan.churn_up_s = 5.0;
+  plan.churn_down_s = 3.0;
+  FaultInjector injector(plan, &sim_, medium_.get(), Rng(77));
+  injector.Arm(1, 5, {});
+  EXPECT_EQ(injector.churners().size(), 5u);
+
+  sim_.RunUntil(60.0);
+  const FaultStats& stats = injector.stats();
+  EXPECT_GE(stats.node_downs, 5u);  // Each churner went down at least once.
+  EXPECT_GT(stats.node_rejoins, 0u);
+  EXPECT_GE(stats.node_downs, stats.node_rejoins);
+  EXPECT_LE(stats.node_downs, stats.node_rejoins + 5u);
+  EXPECT_EQ(stats.crashes, 0u);  // Graceful churn, not crashes.
+  EXPECT_EQ(stats.loss_episodes, 0u);
+  EXPECT_EQ(stats.outages, 0u);
+  // Node 0 was outside the armed range and must never have been touched.
+  EXPECT_TRUE(medium_->IsOnline(0));
+}
+
+TEST_F(FaultInjectorTest, CrashChurnFiresHooksInAlternation) {
+  Build(4);
+  FaultPlan plan;
+  plan.churn_rate = 1.0;
+  plan.churn_up_s = 4.0;
+  plan.churn_down_s = 2.0;
+  plan.churn_crash = true;
+  FaultInjector injector(plan, &sim_, medium_.get(), Rng(123));
+  std::vector<std::pair<char, NodeId>> events;  // 'c' = crash, 'r' = rejoin.
+  FaultInjector::Hooks hooks;
+  hooks.on_crash = [&](NodeId id) {
+    // The contract: the node is already offline when the hook runs.
+    EXPECT_FALSE(medium_->IsOnline(id));
+    events.emplace_back('c', id);
+  };
+  hooks.on_rejoin = [&](NodeId id) {
+    EXPECT_TRUE(medium_->IsOnline(id));
+    events.emplace_back('r', id);
+  };
+  injector.Arm(1, 3, std::move(hooks));
+  sim_.RunUntil(50.0);
+
+  const FaultStats& stats = injector.stats();
+  EXPECT_EQ(stats.crashes, stats.node_downs);  // Every down was a crash.
+  uint64_t crashes = 0;
+  uint64_t rejoins = 0;
+  std::vector<char> last(4, 'r');  // Every node starts "up".
+  for (const auto& [kind, id] : events) {
+    (kind == 'c' ? crashes : rejoins) += 1;
+    EXPECT_NE(last[id], kind) << "node " << id << " repeated " << kind;
+    last[id] = kind;
+  }
+  EXPECT_EQ(crashes, stats.crashes);
+  EXPECT_EQ(rejoins, stats.node_rejoins);
+  EXPECT_GT(crashes, 0u);
+}
+
+TEST_F(FaultInjectorTest, SameSeedReproducesTheExactSchedule) {
+  auto run = [](uint64_t seed) {
+    Simulator sim;
+    Medium medium({}, &sim, Rng(5));
+    std::vector<std::unique_ptr<Stationary>> mobilities;
+    for (int i = 0; i < 8; ++i) {
+      mobilities.push_back(std::make_unique<Stationary>(Vec2{i * 50.0, 0.0}));
+      EXPECT_TRUE(
+          medium.AddNode(static_cast<NodeId>(i), mobilities.back().get())
+              .ok());
+    }
+    FaultPlan plan;
+    plan.churn_rate = 0.6;
+    plan.churn_up_s = 7.0;
+    plan.churn_down_s = 3.0;
+    FaultInjector injector(plan, &sim, &medium, Rng(seed));
+    injector.Arm(1, 7, {});
+    // Sample the full down/up timeline through the medium's online flags.
+    std::vector<std::string> timeline;
+    for (double t = 0.5; t < 40.0; t += 0.5) {
+      sim.ScheduleAt(t, [&, t] {
+        std::string snapshot;
+        for (int i = 0; i < 8; ++i) {
+          snapshot += medium.IsOnline(static_cast<NodeId>(i)) ? '1' : '0';
+        }
+        timeline.push_back(snapshot);
+      });
+    }
+    sim.RunUntil(40.0);
+    return std::make_pair(injector.churners(), timeline);
+  };
+  const auto first = run(42);
+  const auto second = run(42);
+  const auto different = run(43);
+  EXPECT_EQ(first.first, second.first);
+  EXPECT_EQ(first.second, second.second);
+  // A different seed picks a different schedule (overwhelmingly likely).
+  EXPECT_NE(first.second, different.second);
+}
+
+TEST_F(FaultInjectorTest, LossEpisodesModulateTheMediumPeriodically) {
+  Build(2);
+  FaultPlan plan;
+  plan.loss_extra = 0.4;
+  plan.loss_episode_s = 2.0;
+  plan.loss_period_s = 10.0;
+  plan.loss_start_s = 1.0;
+  FaultInjector injector(plan, &sim_, medium_.get(), Rng(1));
+  injector.Arm(1, 1, {});
+  std::vector<std::pair<double, double>> probes;  // (t, extra_loss).
+  for (double t : {0.5, 1.5, 3.5, 11.5, 13.5}) {
+    sim_.ScheduleAt(t, [&, t] {
+      probes.emplace_back(t, medium_->extra_loss());
+    });
+  }
+  sim_.RunUntil(15.0);
+  ASSERT_EQ(probes.size(), 5u);
+  EXPECT_DOUBLE_EQ(probes[0].second, 0.0);  // Before the first episode.
+  EXPECT_DOUBLE_EQ(probes[1].second, 0.4);  // Inside episode 1.
+  EXPECT_DOUBLE_EQ(probes[2].second, 0.0);  // Between episodes.
+  EXPECT_DOUBLE_EQ(probes[3].second, 0.4);  // Inside episode 2.
+  EXPECT_DOUBLE_EQ(probes[4].second, 0.0);  // After episode 2.
+  EXPECT_EQ(injector.stats().loss_episodes, 2u);
+}
+
+TEST_F(FaultInjectorTest, ZeroPeriodMeansOneEpisode) {
+  Build(2);
+  FaultPlan plan;
+  plan.loss_extra = 0.2;
+  plan.loss_episode_s = 3.0;
+  plan.loss_start_s = 2.0;
+  FaultInjector injector(plan, &sim_, medium_.get(), Rng(1));
+  injector.Arm(1, 1, {});
+  sim_.RunUntil(30.0);
+  EXPECT_EQ(injector.stats().loss_episodes, 1u);
+  EXPECT_DOUBLE_EQ(medium_->extra_loss(), 0.0);
+}
+
+TEST_F(FaultInjectorTest, OutageRaisesAndClearsTheJamZone) {
+  Build(2);
+  FaultPlan plan;
+  plan.outage_rect = Rect{{100.0, 100.0}, {300.0, 300.0}};
+  plan.outage_start_s = 2.0;
+  plan.outage_end_s = 5.0;
+  FaultInjector injector(plan, &sim_, medium_.get(), Rng(1));
+  injector.Arm(1, 1, {});
+  std::vector<size_t> zone_counts;
+  for (double t : {1.0, 3.0, 6.0}) {
+    sim_.ScheduleAt(t, [&] {
+      zone_counts.push_back(medium_->jam_zones().size());
+    });
+  }
+  sim_.RunUntil(10.0);
+  EXPECT_EQ(zone_counts, (std::vector<size_t>{0u, 1u, 0u}));
+  EXPECT_EQ(injector.stats().outages, 1u);
+}
+
+// ------------------------------------------------- protocol-hook behaviour
+
+TEST(FaultProtocolTest, GossipCrashEmptiesTheCache) {
+  Simulator sim;
+  Medium medium({}, &sim, Rng(404));
+  Stationary at0({0.0, 0.0});
+  Stationary at1({200.0, 0.0});
+  ASSERT_TRUE(medium.AddNode(0, &at0).ok());
+  ASSERT_TRUE(medium.AddNode(1, &at1).ok());
+  stats::DeliveryLog log;
+  core::GossipOptions options = core::GossipOptions::Pure();
+  options.round_time_s = 1000.0;  // No round traffic inside the test window.
+  auto make_context = [&](NodeId id) {
+    core::ProtocolContext context;
+    context.simulator = &sim;
+    context.medium = &medium;
+    context.self = id;
+    context.delivery_log = &log;
+    context.rng = Rng(9000 + id);
+    return context;
+  };
+  core::OpportunisticGossip issuer(make_context(0), options);
+  core::OpportunisticGossip peer(make_context(1), options);
+  issuer.Start();
+  peer.Start();
+  ASSERT_TRUE(issuer.Issue(PetrolAd(), 1000.0, 800.0).ok());
+  sim.RunUntil(1.0);
+  ASSERT_EQ(peer.cache().Size(), 1u);
+
+  ASSERT_TRUE(medium.SetOnline(1, false).ok());
+  peer.OnCrash();
+  EXPECT_EQ(peer.cache().Size(), 0u);
+  // The issuer's own copy is untouched.
+  EXPECT_EQ(issuer.cache().Size(), 1u);
+}
+
+TEST(FaultProtocolTest, GossipRejoinReannouncesCachedAds) {
+  // 0 --200m-- 1 --200m-- 2: node 2 is out of the issuer's range and, with
+  // gossip rounds pushed past the horizon, can only learn the ad from node
+  // 1's rejoin re-announcement.
+  Simulator sim;
+  Medium medium({}, &sim, Rng(404));
+  Stationary at0({0.0, 0.0});
+  Stationary at1({200.0, 0.0});
+  Stationary at2({400.0, 0.0});
+  ASSERT_TRUE(medium.AddNode(0, &at0).ok());
+  ASSERT_TRUE(medium.AddNode(1, &at1).ok());
+  ASSERT_TRUE(medium.AddNode(2, &at2).ok());
+  stats::DeliveryLog log;
+  core::GossipOptions options = core::GossipOptions::Pure();
+  options.round_time_s = 1000.0;
+  auto make_context = [&](NodeId id) {
+    core::ProtocolContext context;
+    context.simulator = &sim;
+    context.medium = &medium;
+    context.self = id;
+    context.delivery_log = &log;
+    context.rng = Rng(9000 + id);
+    return context;
+  };
+  core::OpportunisticGossip issuer(make_context(0), options);
+  core::OpportunisticGossip carrier(make_context(1), options);
+  core::OpportunisticGossip listener(make_context(2), options);
+  issuer.Start();
+  carrier.Start();
+  listener.Start();
+  auto issued = issuer.Issue(PetrolAd(), 1000.0, 800.0);
+  ASSERT_TRUE(issued.ok());
+  const uint64_t key = issued->Key();
+  sim.RunUntil(1.0);
+  ASSERT_EQ(carrier.cache().Size(), 1u);
+  ASSERT_LT(log.FirstReceipt(key, 2), 0.0);  // Not yet delivered.
+
+  sim.Schedule(0.0, [&] { carrier.OnRejoin(); });
+  sim.RunUntil(2.0);
+  EXPECT_GE(log.FirstReceipt(key, 2), 0.0);
+  EXPECT_EQ(listener.cache().Size(), 1u);
+}
+
+TEST(FaultProtocolTest, ExchangeAbortsEncounterWhenPeerVanishesInFlight) {
+  Simulator sim;
+  Medium medium({}, &sim, Rng(404));
+  Stationary at0({0.0, 0.0});
+  Stationary at1({100.0, 0.0});
+  ASSERT_TRUE(medium.AddNode(0, &at0).ok());
+  ASSERT_TRUE(medium.AddNode(1, &at1).ok());
+  stats::DeliveryLog log;
+  core::ResourceExchange::Options options;
+  options.beacon_interval_s = 2.0;
+  auto make_context = [&](NodeId id) {
+    core::ProtocolContext context;
+    context.simulator = &sim;
+    context.medium = &medium;
+    context.self = id;
+    context.delivery_log = &log;
+    context.rng = Rng(9000 + id);
+    return context;
+  };
+  core::ResourceExchange holder(make_context(0), options);
+  core::ResourceExchange beaconer(make_context(1), options);
+  holder.Start();
+  beaconer.Start();
+  auto issued = holder.Issue(PetrolAd(), 1000.0, 800.0);
+  ASSERT_TRUE(issued.ok());
+
+  // Crash node 1 the instant it transmits: its beacon is then in flight
+  // toward a holder that would previously have exchanged into the void.
+  medium.SetBroadcastObserver(
+      [&](NodeId from, const net::Packet&, const Vec2&) {
+        if (from == 1 && medium.IsOnline(1)) {
+          (void)medium.SetOnline(1, false);
+        }
+      });
+  sim.RunUntil(5.0);
+  EXPECT_EQ(holder.exchanges_sent(), 0u);  // Encounter aborted, not consumed.
+
+  // After the peer rejoins, its next beacon re-fires the encounter.
+  medium.SetBroadcastObserver(nullptr);
+  ASSERT_TRUE(medium.SetOnline(1, true).ok());
+  sim.RunUntil(10.0);
+  EXPECT_GE(holder.exchanges_sent(), 1u);
+  // The resource finally crossed over.
+  EXPECT_TRUE(beaconer.Holds(issued->Key()));
+}
+
+// ------------------------------------------------------- scenario plumbing
+
+TEST(FaultScenarioTest, RunResultCarriesFaultCounters) {
+  scenario::ScenarioConfig config;
+  config.method = scenario::Method::kGossip;
+  config.num_peers = 20;
+  config.area_size_m = 1000.0;
+  config.issue_location = {500.0, 500.0};
+  config.initial_radius_m = 500.0;
+  config.initial_duration_s = 100.0;
+  config.sim_time_s = 60.0;
+  config.issue_time_s = 5.0;
+  config.seed = 3;
+  config.fault.churn_rate = 0.5;
+  config.fault.churn_up_s = 10.0;
+  config.fault.churn_down_s = 5.0;
+  config.fault.churn_crash = true;
+  config.fault.loss_extra = 0.2;
+  config.fault.loss_episode_s = 5.0;
+  config.fault.loss_period_s = 20.0;
+  config.fault.outage_rect = Rect{{0.0, 0.0}, {300.0, 300.0}};
+  config.fault.outage_start_s = 10.0;
+  config.fault.outage_end_s = 30.0;
+  ASSERT_TRUE(config.Validate().ok());
+
+  const scenario::RunResult result = scenario::RunScenario(config);
+  EXPECT_GT(result.fault.node_downs, 0u);
+  EXPECT_EQ(result.fault.crashes, result.fault.node_downs);
+  EXPECT_GE(result.fault.loss_episodes, 1u);
+  EXPECT_EQ(result.fault.outages, 1u);
+
+  // Disabled plan => all-zero counters (the default RunResult).
+  scenario::ScenarioConfig clean = config;
+  clean.fault = FaultPlan{};
+  const scenario::RunResult quiet = scenario::RunScenario(clean);
+  EXPECT_EQ(quiet.fault.node_downs, 0u);
+  EXPECT_EQ(quiet.fault.loss_episodes, 0u);
+  EXPECT_EQ(quiet.fault.outages, 0u);
+}
+
+TEST(FaultPlanTest, ValidateRejectsInconsistentPlans) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.Validate().ok());  // All-off default is valid.
+
+  plan.churn_rate = 1.5;
+  EXPECT_FALSE(plan.Validate().ok());
+  plan.churn_rate = 0.5;
+  plan.churn_up_s = 0.0;
+  EXPECT_FALSE(plan.Validate().ok());
+  plan.churn_up_s = 10.0;
+  EXPECT_TRUE(plan.Validate().ok());
+
+  plan.loss_extra = 0.3;
+  EXPECT_FALSE(plan.Validate().ok());  // Episode length missing.
+  plan.loss_episode_s = 5.0;
+  plan.loss_period_s = 2.0;  // Episodes would overlap.
+  EXPECT_FALSE(plan.Validate().ok());
+  plan.loss_period_s = 20.0;
+  EXPECT_TRUE(plan.Validate().ok());
+
+  plan.outage_rect = Rect{{0.0, 0.0}, {100.0, 100.0}};
+  EXPECT_FALSE(plan.Validate().ok());  // end <= start.
+  plan.outage_end_s = 5.0;
+  EXPECT_TRUE(plan.Validate().ok());
+}
+
+}  // namespace
+}  // namespace madnet::fault

@@ -113,6 +113,36 @@ TEST_F(MediumPerfTest, OfflineNodesAreExcludedEverywhere) {
   ExpectMatchesBruteForce({kArea / 2, kArea / 2}, 500.0);
 }
 
+TEST_F(MediumPerfTest, RebuiltIndexSkipsOfflineNodesAndFlipBackIsVisible) {
+  // Force a reindex while half the fleet is offline: offline nodes must
+  // not be inserted (they are dead weight for every query), yet flipping
+  // one back online must make it visible IMMEDIATELY — before the next
+  // periodic rebuild — because SetOnline(true) invalidates the index.
+  for (NodeId id = 0; id < kNodes; id += 2) {
+    ASSERT_TRUE(medium_->SetOnline(id, false).ok());
+  }
+  // Advance virtual time past the reindex interval so the next query
+  // rebuilds from scratch with the offline set in effect.
+  simulator_.Schedule(5.0, [] {});
+  simulator_.Run();
+  Rng rng(17);
+  for (int q = 0; q < 20; ++q) {
+    const Vec2 center = rng.UniformInRect(Rect{{0.0, 0.0}, {kArea, kArea}});
+    const std::vector<NodeId> neighbors = medium_->NeighborsOf(center, 400.0);
+    for (NodeId id : neighbors) EXPECT_EQ(id % 2, 1u);
+    ExpectMatchesBruteForce(center, 400.0);
+  }
+  // Flip everyone back and query at the same instant (no time advance, no
+  // periodic rebuild in between): the full fleet must reappear.
+  for (NodeId id = 0; id < kNodes; id += 2) {
+    ASSERT_TRUE(medium_->SetOnline(id, true).ok());
+  }
+  const std::vector<NodeId> all =
+      medium_->NeighborsOf({kArea / 2, kArea / 2}, kArea * 2.0);
+  EXPECT_EQ(all.size(), static_cast<size_t>(kNodes));
+  ExpectMatchesBruteForce({kArea / 2, kArea / 2}, kArea * 2.0);
+}
+
 TEST_F(MediumPerfTest, RepeatedQueriesReuseScratchWithoutCorruption) {
   // Back-to-back queries exercise the reused scratch buffers; each result
   // must be self-consistent and match a fresh brute-force scan.

@@ -270,6 +270,115 @@ TEST_F(MediumTest, BroadcastObserverSeesEveryTransmission) {
   EXPECT_EQ(observed.size(), 2u);
 }
 
+// ------------------------------------------------ loss/collision semantics
+//
+// Regression pins for the delivery-time loss model and the garbled-window
+// collision bookkeeping. Latency is pinned (min == max) so frame arrival
+// order and spacing are exact.
+
+TEST_F(MediumTest, LostFrameStillOccupiesTheCollisionWindow) {
+  // Loss is decided at DELIVERY time, and a frame destroyed by loss still
+  // put RF energy on the air: a second frame from a different sender
+  // arriving inside the window is a collision, not another loss.
+  Medium::Options options;
+  options.loss_probability = 1.0;  // Every surviving frame is lost.
+  options.enable_collisions = true;
+  options.collision_window_s = 1e-3;
+  options.min_latency_s = 1e-4;
+  options.max_latency_s = 1e-4;
+  // Senders 0 and 1 are out of range of each other (300 m); both reach
+  // the receiver at 150 m, so every counter below is exact.
+  Build({{0.0, 0.0}, {300.0, 0.0}, {150.0, 0.0}}, options);
+  ASSERT_TRUE(medium_->Broadcast(0, MakePacket(1)).ok());
+  sim_.Schedule(2e-4, [&] { (void)medium_->Broadcast(1, MakePacket(2)); });
+  sim_.Run();
+  EXPECT_TRUE(received_[2].empty());
+  EXPECT_EQ(medium_->stats().dropped_loss, 1u);       // First frame only.
+  EXPECT_EQ(medium_->stats().dropped_collision, 1u);  // Second frame.
+}
+
+TEST_F(MediumTest, OfflineReceiverIsNotChargedAsLoss) {
+  // A receiver that is offline when the frame arrives drops it as
+  // dropped_offline — never as dropped_loss, even at loss probability 1.
+  Medium::Options options;
+  options.loss_probability = 1.0;
+  Build({{0.0, 0.0}, {100.0, 0.0}}, options);
+  ASSERT_TRUE(medium_->Broadcast(0, MakePacket(1)).ok());
+  sim_.Schedule(0.0, [&] { (void)medium_->SetOnline(1, false); });
+  sim_.Run();
+  EXPECT_EQ(medium_->stats().dropped_offline, 1u);
+  EXPECT_EQ(medium_->stats().dropped_loss, 0u);
+}
+
+TEST_F(MediumTest, SameSenderBackToBackFramesDoNotCollide) {
+  // Two frames from ONE sender inside the window are serialized by that
+  // sender's MAC, not colliding transmissions: both must deliver.
+  Medium::Options options;
+  options.enable_collisions = true;
+  options.collision_window_s = 1e-3;
+  options.min_latency_s = 1e-4;
+  options.max_latency_s = 1e-4;
+  Build({{0.0, 0.0}, {100.0, 0.0}}, options);
+  ASSERT_TRUE(medium_->Broadcast(0, MakePacket(1)).ok());
+  sim_.Schedule(2e-4, [&] { (void)medium_->Broadcast(0, MakePacket(2)); });
+  sim_.Run();
+  EXPECT_EQ(received_[1].size(), 2u);
+  EXPECT_EQ(medium_->stats().dropped_collision, 0u);
+}
+
+TEST_F(MediumTest, GarbledWindowDropsTheOriginalSendersNextFrame) {
+  // Once a collision garbles the window, EVERY frame inside it is lost —
+  // including a third frame from the sender that delivered first. (The old
+  // bookkeeping overwrote last_rx_from on the dropped frame, letting the
+  // original sender "sail through" its own garbled window.)
+  Medium::Options options;
+  options.enable_collisions = true;
+  options.collision_window_s = 1e-3;
+  options.min_latency_s = 1e-4;
+  options.max_latency_s = 1e-4;
+  Build({{0.0, 0.0}, {300.0, 0.0}, {150.0, 0.0}}, options);
+  ASSERT_TRUE(medium_->Broadcast(0, MakePacket(1)).ok());  // Delivers.
+  sim_.Schedule(2e-4, [&] { (void)medium_->Broadcast(1, MakePacket(2)); });
+  sim_.Schedule(4e-4, [&] { (void)medium_->Broadcast(0, MakePacket(3)); });
+  sim_.Run();
+  ASSERT_EQ(received_[2].size(), 1u);
+  EXPECT_EQ(received_[2][0], (std::pair<NodeId, int>{0, 1}));
+  EXPECT_EQ(medium_->stats().dropped_collision, 2u);
+}
+
+TEST_F(MediumTest, ExtraLossAppliesAtDeliveryTime) {
+  // SetExtraLoss between transmit and delivery must affect the in-flight
+  // frame: the draw happens when the frame arrives, not when it is sent.
+  Build({{0.0, 0.0}, {100.0, 0.0}});
+  ASSERT_TRUE(medium_->Broadcast(0, MakePacket(1)).ok());
+  sim_.Schedule(0.0, [&] { medium_->SetExtraLoss(1.0); });
+  sim_.Run();
+  EXPECT_TRUE(received_[1].empty());
+  EXPECT_EQ(medium_->stats().dropped_loss, 1u);
+  // Clearing the episode restores delivery.
+  medium_->SetExtraLoss(0.0);
+  ASSERT_TRUE(medium_->Broadcast(0, MakePacket(2)).ok());
+  sim_.Run();
+  ASSERT_EQ(received_[1].size(), 1u);
+  EXPECT_EQ(received_[1][0], (std::pair<NodeId, int>{0, 2}));
+}
+
+TEST_F(MediumTest, JamZoneSilencesOnlyReceiversInside) {
+  Build({{0.0, 0.0}, {100.0, 0.0}, {0.0, 100.0}});
+  medium_->SetJamZones({Rect{{50.0, -50.0}, {150.0, 50.0}}});  // Node 1.
+  ASSERT_TRUE(medium_->Broadcast(0, MakePacket(1)).ok());
+  sim_.Run();
+  EXPECT_TRUE(received_[1].empty());
+  ASSERT_EQ(received_[2].size(), 1u);
+  EXPECT_EQ(medium_->stats().dropped_jammed, 1u);
+  // Lifting the jam restores the inside receiver.
+  medium_->SetJamZones({});
+  ASSERT_TRUE(medium_->Broadcast(0, MakePacket(2)).ok());
+  sim_.Run();
+  EXPECT_EQ(received_[1].size(), 1u);
+  EXPECT_EQ(medium_->stats().dropped_jammed, 1u);
+}
+
 TEST(MediumMovingTest, StaleIndexStillFindsMovingNodes) {
   // Nodes move quickly; the spatial index refreshes only every second, so
   // the slack logic must keep delivery exact. Compare against brute force

@@ -119,5 +119,94 @@ TEST_F(ConfigIoTest, SaveLoadRoundTrip) {
   EXPECT_EQ(loaded.seed, original.seed);
 }
 
+TEST_F(ConfigIoTest, FaultPlanKeysLoadOverDefaults) {
+  WriteFile(
+      "churn_rate = 0.25\n"
+      "churn_up = 90\n"
+      "churn_down = 45\n"
+      "churn_crash = true\n"
+      "churn_start = 30\n"
+      "loss_extra = 0.2\n"
+      "loss_episode = 15\n"
+      "loss_period = 60\n"
+      "loss_start = 10\n"
+      "outage_x0 = 100\n"
+      "outage_y0 = 200\n"
+      "outage_x1 = 400\n"
+      "outage_y1 = 600\n"
+      "outage_start = 50\n"
+      "outage_end = 120\n");
+  ScenarioConfig config;
+  ASSERT_TRUE(LoadConfigFile(path_, &config).ok());
+  EXPECT_DOUBLE_EQ(config.fault.churn_rate, 0.25);
+  EXPECT_DOUBLE_EQ(config.fault.churn_up_s, 90.0);
+  EXPECT_DOUBLE_EQ(config.fault.churn_down_s, 45.0);
+  EXPECT_TRUE(config.fault.churn_crash);
+  EXPECT_DOUBLE_EQ(config.fault.churn_start_s, 30.0);
+  EXPECT_DOUBLE_EQ(config.fault.loss_extra, 0.2);
+  EXPECT_DOUBLE_EQ(config.fault.loss_episode_s, 15.0);
+  EXPECT_DOUBLE_EQ(config.fault.loss_period_s, 60.0);
+  EXPECT_DOUBLE_EQ(config.fault.loss_start_s, 10.0);
+  EXPECT_EQ(config.fault.outage_rect.min, (Vec2{100.0, 200.0}));
+  EXPECT_EQ(config.fault.outage_rect.max, (Vec2{400.0, 600.0}));
+  EXPECT_DOUBLE_EQ(config.fault.outage_start_s, 50.0);
+  EXPECT_DOUBLE_EQ(config.fault.outage_end_s, 120.0);
+  EXPECT_TRUE(config.fault.Enabled());
+}
+
+TEST_F(ConfigIoTest, FaultPlanSaveLoadRoundTrip) {
+  ScenarioConfig original;
+  original.fault.churn_rate = 0.4;
+  original.fault.churn_up_s = 75.0;
+  original.fault.churn_down_s = 33.0;
+  original.fault.churn_crash = true;
+  original.fault.churn_start_s = 12.0;
+  original.fault.loss_extra = 0.35;
+  original.fault.loss_episode_s = 8.0;
+  original.fault.loss_period_s = 40.0;
+  original.fault.loss_start_s = 5.0;
+  original.fault.outage_rect = Rect{{10.0, 20.0}, {310.0, 420.0}};
+  original.fault.outage_start_s = 100.0;
+  original.fault.outage_end_s = 160.0;
+  ASSERT_TRUE(original.Validate().ok());
+  WriteFile(SaveConfigText(original));
+
+  ScenarioConfig loaded;
+  ASSERT_TRUE(LoadConfigFile(path_, &loaded).ok());
+  EXPECT_DOUBLE_EQ(loaded.fault.churn_rate, original.fault.churn_rate);
+  EXPECT_DOUBLE_EQ(loaded.fault.churn_up_s, original.fault.churn_up_s);
+  EXPECT_DOUBLE_EQ(loaded.fault.churn_down_s, original.fault.churn_down_s);
+  EXPECT_EQ(loaded.fault.churn_crash, original.fault.churn_crash);
+  EXPECT_DOUBLE_EQ(loaded.fault.churn_start_s, original.fault.churn_start_s);
+  EXPECT_DOUBLE_EQ(loaded.fault.loss_extra, original.fault.loss_extra);
+  EXPECT_DOUBLE_EQ(loaded.fault.loss_episode_s,
+                   original.fault.loss_episode_s);
+  EXPECT_DOUBLE_EQ(loaded.fault.loss_period_s, original.fault.loss_period_s);
+  EXPECT_DOUBLE_EQ(loaded.fault.loss_start_s, original.fault.loss_start_s);
+  EXPECT_EQ(loaded.fault.outage_rect.min, original.fault.outage_rect.min);
+  EXPECT_EQ(loaded.fault.outage_rect.max, original.fault.outage_rect.max);
+  EXPECT_DOUBLE_EQ(loaded.fault.outage_start_s,
+                   original.fault.outage_start_s);
+  EXPECT_DOUBLE_EQ(loaded.fault.outage_end_s, original.fault.outage_end_s);
+  // A disabled default plan round-trips as disabled.
+  ScenarioConfig quiet;
+  WriteFile(SaveConfigText(quiet));
+  ScenarioConfig quiet_loaded;
+  ASSERT_TRUE(LoadConfigFile(path_, &quiet_loaded).ok());
+  EXPECT_FALSE(quiet_loaded.fault.Enabled());
+}
+
+TEST_F(ConfigIoTest, RejectsInvalidFaultPlan) {
+  WriteFile("churn_rate = 1.5\n");  // Not a probability.
+  ScenarioConfig config;
+  EXPECT_FALSE(LoadConfigFile(path_, &config).ok());
+  WriteFile("loss_extra = 0.3\n");  // Episode length missing.
+  EXPECT_FALSE(LoadConfigFile(path_, &config).ok());
+  WriteFile(
+      "outage_x1 = 100\n"
+      "outage_y1 = 100\n");  // Zero-length outage window.
+  EXPECT_FALSE(LoadConfigFile(path_, &config).ok());
+}
+
 }  // namespace
 }  // namespace madnet::scenario

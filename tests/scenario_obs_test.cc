@@ -79,6 +79,34 @@ TEST(ScenarioObsTest, TraceIsByteIdenticalAtOneAndFourJobs) {
   EXPECT_EQ(serial, parallel);
 }
 
+TEST(ScenarioObsTest, FaultedTraceIsByteIdenticalAtOneAndFourJobs) {
+  // The fault layer's determinism gate: churn + crash recovery + periodic
+  // loss episodes + a jammer rectangle all active, and the whole sweep is
+  // still byte-for-byte --jobs-invariant (metrics included — they are part
+  // of the flushed manifest/trace stream).
+  ScenarioConfig config = SmallConfig();
+  config.fault.churn_rate = 0.3;
+  config.fault.churn_up_s = 40.0;
+  config.fault.churn_down_s = 20.0;
+  config.fault.churn_crash = true;
+  config.fault.loss_extra = 0.3;
+  config.fault.loss_episode_s = 10.0;
+  config.fault.loss_period_s = 50.0;
+  config.fault.outage_rect = Rect{{0.0, 0.0}, {500.0, 500.0}};
+  config.fault.outage_start_s = 60.0;
+  config.fault.outage_end_s = 120.0;
+  ASSERT_TRUE(config.Validate().ok());
+  const std::string serial = SweepTraceBytes(
+      config, 4, /*jobs=*/1, testing::TempDir() + "obs_fault_j1.jsonl");
+  const std::string parallel = SweepTraceBytes(
+      config, 4, /*jobs=*/4, testing::TempDir() + "obs_fault_j4.jsonl");
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+  // The injector actually left its mark on the trace.
+  EXPECT_NE(serial.find("\"cat\":\"fault\""), std::string::npos);
+  EXPECT_NE(serial.find("\"reason\":\"crash\""), std::string::npos);
+}
+
 TEST(ScenarioObsTest, FlushedTraceParsesAndIsOrderedWithinRuns) {
   const ScenarioConfig config = SmallConfig();
   const std::string path = testing::TempDir() + "obs_trace_parse.jsonl";
