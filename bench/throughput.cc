@@ -93,17 +93,31 @@ void Run(const bench::BenchEnv& env) {
       "n/a; reference numbers for the simulation core itself.");
 
   // --- 1. Single-run hot path. ---
+  // Min-of-N: the run is deterministic, so every repetition executes the
+  // same events and only the wall clock varies (scheduler noise, thermal
+  // throttling). The fastest repetition is the least-disturbed measurement
+  // and the one tracked PR over PR.
   ScenarioConfig reference;  // Table II defaults.
   reference.num_peers = env.fast ? 300 : 1000;
-  auto start = std::chrono::steady_clock::now();
-  const RunResult single = RunScenario(reference);
-  const double single_wall_s = SecondsSince(start);
+  const int single_runs = env.fast ? 3 : 10;
+  RunResult single;
+  double single_wall_s = 0.0;
+  for (int i = 0; i < single_runs; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    RunResult result = RunScenario(reference);
+    const double wall_s = SecondsSince(start);
+    if (i == 0 || wall_s < single_wall_s) {
+      single_wall_s = wall_s;
+      single = std::move(result);
+    }
+  }
   const double events_per_sec =
       static_cast<double>(single.events_executed) / single_wall_s;
   const double broadcasts_per_sec =
       static_cast<double>(single.Messages()) / single_wall_s;
 
-  std::printf("\nSingle run (%d peers, Table II):\n", reference.num_peers);
+  std::printf("\nSingle run (%d peers, Table II, best of %d):\n",
+              reference.num_peers, single_runs);
   std::printf("  wall-clock        %.3f s\n", single_wall_s);
   std::printf("  events            %llu (%.0f events/s)\n",
               static_cast<unsigned long long>(single.events_executed),
@@ -124,6 +138,11 @@ void Run(const bench::BenchEnv& env) {
   const SweepResult serial = RunSweep(methods, sizes, env.reps, 1);
   const SweepResult parallel =
       RunSweep(methods, sizes, env.reps, parallel_jobs);
+  const int hardware_threads = exec::ThreadPool::HardwareConcurrency();
+  // On a machine with fewer hardware threads than workers the "speedup" is
+  // dominated by oversubscription and scheduler noise, not by the engine;
+  // report it as unavailable rather than publish a misleading ratio.
+  const bool speedup_meaningful = hardware_threads >= parallel_jobs;
   const double speedup =
       parallel.wall_s > 0.0 ? serial.wall_s / parallel.wall_s : 0.0;
 
@@ -132,8 +151,15 @@ void Run(const bench::BenchEnv& env) {
   std::printf("  serial            %.3f s\n", serial.wall_s);
   std::printf("  jobs=%-3d          %.3f s\n", parallel_jobs,
               parallel.wall_s);
-  std::printf("  speedup           %.2fx (%d hardware threads)\n", speedup,
-              exec::ThreadPool::HardwareConcurrency());
+  if (speedup_meaningful) {
+    std::printf("  speedup           %.2fx (%d hardware threads)\n", speedup,
+                hardware_threads);
+  } else {
+    std::printf(
+        "  speedup           n/a (%d hardware threads < %d jobs — "
+        "oversubscribed)\n",
+        hardware_threads, parallel_jobs);
+  }
 
   if (!SweepsIdentical(serial, parallel)) {
     MADNET_LOG_ERROR(
@@ -160,6 +186,8 @@ void Run(const bench::BenchEnv& env) {
   json.BeginObject();
   json.Key("peers");
   json.Value(reference.num_peers);
+  json.Key("runs");
+  json.Value(single_runs);
   json.Key("wall_s");
   json.Value(single_wall_s);
   json.Key("events");
@@ -184,9 +212,16 @@ void Run(const bench::BenchEnv& env) {
   json.Key("jobs");
   json.Value(parallel_jobs);
   json.Key("hardware_threads");
-  json.Value(exec::ThreadPool::HardwareConcurrency());
+  json.Value(hardware_threads);
   json.Key("speedup");
-  json.Value(speedup);
+  if (speedup_meaningful) {
+    json.Value(speedup);
+  } else {
+    json.Null();
+    json.Key("speedup_note");
+    json.Value("hardware_threads < jobs: wall-clock ratio reflects "
+               "oversubscription, not engine scaling");
+  }
   json.Key("deterministic");
   json.Value(true);
   json.EndObject();

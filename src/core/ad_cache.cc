@@ -10,14 +10,16 @@ AdCache::AdCache(size_t capacity) : capacity_(capacity) {
   assert(capacity >= 1);
 }
 
-CacheEntry* AdCache::Find(uint64_t key) {
-  auto it = entries_.find(key);
-  return it == entries_.end() ? nullptr : &it->second;
-}
-
-const CacheEntry* AdCache::Find(uint64_t key) const {
-  auto it = entries_.find(key);
-  return it == entries_.end() ? nullptr : &it->second;
+void AdCache::IndexRemove(uint64_t key) {
+  for (size_t i = 0; i < index_keys_.size(); ++i) {
+    if (index_keys_[i] == key) {
+      index_keys_[i] = index_keys_.back();
+      index_keys_.pop_back();
+      index_values_[i] = index_values_.back();
+      index_values_.pop_back();
+      return;
+    }
+  }
 }
 
 uint64_t AdCache::LowestProbabilityKey() const {
@@ -51,11 +53,14 @@ CacheEntry* AdCache::Insert(CacheEntry entry, sim::EventId* evicted_timer) {
       return nullptr;  // The newcomer loses; nothing changes.
     }
     *evicted_timer = victim_it->second.timer;
+    IndexRemove(victim);
     entries_.erase(victim_it);
   }
   auto [it, inserted] = entries_.emplace(key, std::move(entry));
   assert(inserted);
   (void)inserted;
+  index_keys_.push_back(key);
+  index_values_.push_back(&it->second);
   return &it->second;
 }
 
@@ -63,6 +68,7 @@ sim::EventId AdCache::Erase(uint64_t key) {
   auto it = entries_.find(key);
   if (it == entries_.end()) return sim::kInvalidEventId;
   const sim::EventId timer = it->second.timer;
+  IndexRemove(key);
   entries_.erase(it);
   return timer;
 }

@@ -35,8 +35,21 @@ class AdCache {
 
   /// Looks up an entry; nullptr if absent. The pointer stays valid until
   /// the entry is erased or evicted.
-  CacheEntry* Find(uint64_t key);
-  const CacheEntry* Find(uint64_t key) const;
+  // MADNET_HOT
+  CacheEntry* Find(uint64_t key) {
+    // Linear scan of the flat key index: the cache is top-k bounded (k is
+    // ~10 in the paper), so scanning a dense key array beats chasing the
+    // map's hash buckets. The map stays the owner — its iteration order is
+    // part of the determinism contract (ForEach/Keys feed RNG draws) —
+    // while the side index only accelerates point lookups.
+    for (size_t i = 0; i < index_keys_.size(); ++i) {
+      if (index_keys_[i] == key) return index_values_[i];
+    }
+    return nullptr;
+  }
+  const CacheEntry* Find(uint64_t key) const {
+    return const_cast<AdCache*>(this)->Find(key);
+  }
 
   /// Inserts a new entry (Algorithm 1). If the cache is full, callers must
   /// refresh probabilities first, then the lowest-probability entry —
@@ -69,8 +82,16 @@ class AdCache {
   /// determinism). Requires a non-empty cache.
   uint64_t LowestProbabilityKey() const;
 
+  /// Removes `key` from the flat Find index (no-op if absent).
+  void IndexRemove(uint64_t key);
+
   size_t capacity_;
   std::unordered_map<uint64_t, CacheEntry> entries_;
+  // Flat mirror of entries_ for Find: parallel key/pointer arrays, order
+  // irrelevant (only entries_ defines iteration order). Map node pointers
+  // are stable until erase, so the cached pointers never dangle.
+  std::vector<uint64_t> index_keys_;
+  std::vector<CacheEntry*> index_values_;
 };
 
 }  // namespace madnet::core

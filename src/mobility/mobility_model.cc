@@ -41,12 +41,14 @@ void MobilityModel::EnsureHorizon(Time horizon) {
 
 size_t MobilityModel::LegIndexAt(Time t) {
   assert(t >= 0.0 && "mobility queries require non-negative time");
-  EnsureHorizon(t);
-  // Fast path: the cached cursor or its successor usually matches.
+  // Fast path first: if the cached cursor leg contains `t`, the trajectory
+  // already covers `t` and EnsureHorizon would be a no-op, so checking the
+  // cursor before extending is a pure reorder.
   if (cursor_ < legs_.size() && legs_[cursor_].start <= t &&
       t <= legs_[cursor_].end) {
     return cursor_;
   }
+  EnsureHorizon(t);
   // Binary search: first leg whose end >= t.
   auto it = std::lower_bound(
       legs_.begin(), legs_.end(), t,
@@ -56,7 +58,7 @@ size_t MobilityModel::LegIndexAt(Time t) {
   return cursor_;
 }
 
-Vec2 MobilityModel::PositionAt(Time t) {
+Vec2 MobilityModel::PositionAtSlow(Time t) {
   return legs_[LegIndexAt(t)].PositionAt(t);
 }
 

@@ -51,7 +51,22 @@ class MobilityModel {
 
   /// Exact position at time `t` (>= 0). Times beyond the last generated leg
   /// extend the trajectory deterministically.
-  Vec2 PositionAt(Time t);
+  // MADNET_HOT
+  Vec2 PositionAt(Time t) {
+    // Fast path: `t` strictly inside the cached cursor leg. The expression
+    // mirrors Leg::PositionAt exactly; strict interior guarantees d > 0 and
+    // s in (0, 1], where the clamp is a no-op, so results are bit-identical
+    // to the general path. Boundary times (t == start or t == end) fall
+    // through so leg selection stays byte-for-byte with the cursor logic.
+    if (cursor_ < legs_.size()) {
+      const Leg& leg = legs_[cursor_];
+      if (leg.start < t && t < leg.end) {
+        const double s = (t - leg.start) / (leg.end - leg.start);
+        return leg.from + (leg.to - leg.from) * s;
+      }
+    }
+    return PositionAtSlow(t);
+  }
 
   /// Exact velocity at time `t`. At a leg boundary, the later leg's
   /// velocity is reported.
@@ -62,6 +77,14 @@ class MobilityModel {
 
   /// All legs generated so far (EnsureHorizon first for a known span).
   const std::vector<Leg>& legs() const { return legs_; }
+
+  /// The leg the cursor cache points at — the leg used by the most recent
+  /// query — or nullptr before any query. Legs are immutable once
+  /// generated, so callers may mirror the returned leg as a long-lived
+  /// position-evaluation cache (see Medium::CachedPositionAt).
+  const Leg* CursorLeg() const {
+    return cursor_ < legs_.size() ? &legs_[cursor_] : nullptr;
+  }
 
   /// Exact time intervals within [t0, t1] spent inside `circle`.
   /// Overlapping/abutting intervals from consecutive legs are coalesced.
@@ -78,6 +101,9 @@ class MobilityModel {
  private:
   /// Index of the leg containing time `t`, extending as needed.
   size_t LegIndexAt(Time t);
+
+  /// General-path position query backing the inline fast path above.
+  Vec2 PositionAtSlow(Time t);
 
   std::vector<Leg> legs_;
   size_t cursor_ = 0;  // Cache: queries are usually time-monotonic.

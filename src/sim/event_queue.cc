@@ -9,6 +9,136 @@
 
 namespace madnet::sim {
 
+// MADNET_HOT
+void EventQueue::HeapPush(const Entry& entry) {
+  // Hole-based sift-up: move parents down until `entry` fits, then write it
+  // once (entries are trivially copyable 16-byte keys, so each step is a
+  // memcpy).
+  // NOLINTNEXTLINE(madnet-hot-alloc): amortized O(1) heap growth.
+  near_.push_back(entry);
+  size_t i = near_.size() - 1;
+  while (i > 0) {
+    const size_t parent = (i - 1) >> 2;
+    if (!Before(entry, near_[parent])) break;
+    near_[i] = near_[parent];
+    i = parent;
+  }
+  near_[i] = entry;
+}
+
+// MADNET_HOT
+void EventQueue::HeapPop() {
+  const Entry last = near_.back();
+  near_.pop_back();
+  const size_t n = near_.size();
+  if (n == 0) return;
+  // Hole-based sift-down from the root: promote the smallest child until
+  // `last` fits.
+  size_t i = 0;
+  for (;;) {
+    const size_t first_child = 4 * i + 1;
+    if (first_child >= n) break;
+    size_t best = first_child;
+    const size_t end_child = first_child + 4 < n ? first_child + 4 : n;
+    for (size_t c = first_child + 1; c < end_child; ++c) {
+      if (Before(near_[c], near_[best])) best = c;
+    }
+    if (!Before(near_[best], last)) break;
+    near_[i] = near_[best];
+    i = best;
+  }
+  near_[i] = last;
+}
+
+void EventQueue::RedistributeOverflow() {
+  std::vector<Entry> keep;
+  int64_t new_min = std::numeric_limits<int64_t>::max();
+  for (const Entry& entry : overflow_) {
+    if (state_[entry.seq - 1] == kCancelled) {
+      state_[entry.seq - 1] = kDone;
+      TakeSlot(entry.slot);
+      continue;
+    }
+    const int64_t e = EpochOf(entry.when);
+    if (e <= cur_epoch_) {
+      HeapPush(entry);  // Defensive; the window never passes overflow.
+    } else if (static_cast<uint64_t>(e) - static_cast<uint64_t>(cur_epoch_) <
+               static_cast<uint64_t>(kRingSize)) {
+      ring_[static_cast<uint64_t>(e) & (kRingSize - 1)].push_back(entry);
+      ++ring_count_;
+    } else {
+      keep.push_back(entry);
+      new_min = std::min(new_min, e);
+    }
+  }
+  overflow_.swap(keep);
+  min_overflow_epoch_ = new_min;
+}
+
+void EventQueue::AdvanceEpoch() {
+  for (;;) {
+    // Epoch of the next non-empty ring bucket. The window invariant (ring
+    // buckets hold exactly the epochs in (cur_epoch_, cur_epoch_ +
+    // kRingSize]) guarantees the scan terminates within kRingSize steps.
+    int64_t ring_epoch = std::numeric_limits<int64_t>::max();
+    if (ring_count_ > 0) {
+      for (int64_t e = cur_epoch_ + 1;; ++e) {
+        if (!ring_[static_cast<uint64_t>(e) & (kRingSize - 1)].empty()) {
+          ring_epoch = e;
+          break;
+        }
+      }
+    }
+    // Overflow entries may have become due as the window advanced; they
+    // must be pulled back in before the window moves past them.
+    if (!overflow_.empty() && min_overflow_epoch_ <= ring_epoch) {
+      if (ring_count_ == 0) {
+        // Nothing nearer anywhere: jump the window to just before the
+        // earliest overflow entry so redistribution lands it in the ring.
+        cur_epoch_ = std::max(cur_epoch_, min_overflow_epoch_ - 1);
+      }
+      RedistributeOverflow();
+      if (!near_.empty()) return;
+      if (ring_count_ == 0 && overflow_.empty()) return;  // All reaped.
+      continue;
+    }
+    if (ring_epoch == std::numeric_limits<int64_t>::max()) return;
+    cur_epoch_ = ring_epoch;
+    std::vector<Entry>& bucket =
+        ring_[static_cast<uint64_t>(ring_epoch) & (kRingSize - 1)];
+    ring_count_ -= bucket.size();
+    for (const Entry& entry : bucket) {
+      // Cancelled entries are reaped here instead of being sifted through
+      // the near heap just to be thrown away at the top.
+      if (state_[entry.seq - 1] == kCancelled) {
+        state_[entry.seq - 1] = kDone;
+        TakeSlot(entry.slot);
+      } else {
+        HeapPush(entry);
+      }
+    }
+    bucket.clear();
+    return;
+  }
+}
+
+// MADNET_HOT
+bool EventQueue::SettleTop() {
+  for (;;) {
+    if (!near_.empty()) {
+      const Entry& top = near_.front();
+      if (state_[top.seq - 1] != kCancelled) return true;
+      state_[top.seq - 1] = kDone;
+      TakeSlot(top.slot);  // Frees the cancelled callback now.
+      HeapPop();
+      continue;
+    }
+    if (ring_count_ == 0 && overflow_.empty()) return false;
+    AdvanceEpoch();
+  }
+}
+
+// MADNET_HOT
 EventId EventQueue::Push(Time when, Callback callback) {
   MADNET_DCHECK(when == when);  // NaN keys would corrupt the heap order.
   MADNET_DCHECK(callback != nullptr);
@@ -22,16 +152,34 @@ EventId EventQueue::Push(Time when, Callback callback) {
     slot = static_cast<uint32_t>(slots_.size());
     slots_.push_back(std::move(callback));
   }
+  // NOLINTNEXTLINE(madnet-hot-alloc): amortized O(1) per-id byte growth.
   state_.push_back(kPending);  // state_[id - 1].
-  heap_.push(Entry{when, id, slot});
+  MADNET_DCHECK_LE(id, std::numeric_limits<uint32_t>::max());
+  const Entry entry{when, static_cast<uint32_t>(id), slot};
+  const int64_t e = EpochOf(when);
+  if (e <= cur_epoch_) {
+    // Current (or past — a zero-delay reschedule) epoch: straight into the
+    // near heap so SettleTop sees it.
+    HeapPush(entry);
+  } else if (static_cast<uint64_t>(e) - static_cast<uint64_t>(cur_epoch_) <
+             static_cast<uint64_t>(kRingSize)) {
+    // NOLINTNEXTLINE(madnet-hot-alloc): amortized O(1) bucket growth;
+    // buckets are recycled every ring lap.
+    ring_[static_cast<uint64_t>(e) & (kRingSize - 1)].push_back(entry);
+    ++ring_count_;
+  } else {
+    // NOLINTNEXTLINE(madnet-hot-alloc): far-future events are rare.
+    overflow_.push_back(entry);
+    min_overflow_epoch_ = std::min(min_overflow_epoch_, e);
+  }
   ++live_count_;
   return id;
 }
 
 bool EventQueue::Cancel(EventId id) {
   // Only ids that were pushed and have neither run nor been cancelled are
-  // cancellable. The heap entry stays put as a tombstone; its slot is
-  // reclaimed when the entry reaches the top.
+  // cancellable. The entry stays put as a tombstone; its slot is reclaimed
+  // when the entry reaches the top (or is migrated out of its bucket).
   if (id == kInvalidEventId || id >= next_seq_) return false;
   uint8_t& state = state_[id - 1];
   if (state != kPending) return false;
@@ -49,40 +197,37 @@ EventQueue::Callback EventQueue::TakeSlot(uint32_t slot) {
   return callback;
 }
 
-void EventQueue::SkipTombstones() {
-  while (!heap_.empty()) {
-    const Entry& top = heap_.top();
-    if (state_[top.seq - 1] != kCancelled) return;
-    state_[top.seq - 1] = kDone;
-    TakeSlot(top.slot);  // Frees the cancelled callback now.
-    heap_.pop();
-  }
-}
-
 Time EventQueue::NextTime() {
-  SkipTombstones();
-  MADNET_DCHECK(!heap_.empty());  // NextTime() on an empty queue.
-  return heap_.top().when;
+  const bool live = SettleTop();
+  MADNET_DCHECK(live);  // NextTime() on an empty queue.
+  (void)live;
+  return near_.front().when;
 }
 
 std::pair<Time, EventQueue::Callback> EventQueue::Pop() {
-  SkipTombstones();
-  MADNET_DCHECK(!heap_.empty());  // Pop() on an empty queue.
-  const Entry top = heap_.top();  // Trivially copyable.
+  const bool live = SettleTop();
+  MADNET_DCHECK(live);  // Pop() on an empty queue.
+  (void)live;
+  const Entry top = near_.front();  // Trivially copyable.
   // Heap integrity: extraction order is non-decreasing in time, and the
   // entry leaving the heap must still be pending (tombstones were reaped by
-  // SkipTombstones above, and ids never re-enter the heap).
+  // SettleTop above, and ids never re-enter the queue).
   MADNET_DCHECK_GE(top.when, last_pop_time_);
   MADNET_DCHECK_EQ(state_[top.seq - 1], kPending);
   last_pop_time_ = top.when;
-  heap_.pop();
+  HeapPop();
   state_[top.seq - 1] = kDone;
   --live_count_;
   return {top.when, TakeSlot(top.slot)};
 }
 
 void EventQueue::Clear() {
-  heap_ = {};
+  near_.clear();
+  for (std::vector<Entry>& bucket : ring_) bucket.clear();
+  ring_count_ = 0;
+  overflow_.clear();
+  min_overflow_epoch_ = std::numeric_limits<int64_t>::max();
+  cur_epoch_ = 0;
   slots_.clear();
   free_slots_.clear();
   // Outstanding ids become permanently non-cancellable (they neither run

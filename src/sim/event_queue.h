@@ -1,9 +1,23 @@
 // Copyright (c) 2026 madnet authors. All rights reserved.
 //
-// The pending-event set of the discrete-event simulator: a binary heap of
-// (time, sequence) keys with O(log n) insertion/extraction and O(1)
-// cancellation via tombstones. Events at the same timestamp pop in
-// scheduling order (FIFO), which makes whole runs deterministic.
+// The pending-event set of the discrete-event simulator. Events at the same
+// timestamp pop in scheduling order (FIFO), which makes whole runs
+// deterministic: the (time, sequence) key is a strict total order, so
+// extraction order does not depend on the container's internal arrangement.
+//
+// Layout is a calendar-style two-level structure tuned for the simulation's
+// push pattern (most events are scheduled a few seconds ahead, popped in
+// near-monotonic time order):
+//  - `near_`: a small 4-ary implicit heap holding only the current epoch's
+//    entries (an epoch is a fixed slice of simulated time). It stays a few
+//    hundred entries, so sifts touch L1-resident memory.
+//  - `ring_`: a power-of-two ring of unsorted buckets, one per upcoming
+//    epoch; pushing into a future epoch is an O(1) append with no sift.
+//  - `overflow_`: entries beyond the ring horizon, redistributed lazily.
+// When the near heap drains, the next non-empty bucket is migrated into it
+// (cancelled entries are dropped during migration instead of being sifted).
+// Every entry still pops in exact (time, sequence) order: the near heap
+// always contains every pending entry of the earliest non-empty epoch.
 //
 // Layout is driven by the broadcast hot path (one event per receiver per
 // frame — millions per run): heap entries are 24-byte trivially-copyable
@@ -15,10 +29,10 @@
 #ifndef MADNET_SIM_EVENT_QUEUE_H_
 #define MADNET_SIM_EVENT_QUEUE_H_
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <limits>
-#include <queue>
 #include <vector>
 
 namespace madnet::sim {
@@ -68,28 +82,75 @@ class EventQueue {
  private:
   struct Entry {
     Time when;
-    uint64_t seq;   // Tie-break: FIFO among same-time events; doubles as id.
+    // Tie-break: FIFO among same-time events; doubles as id. Narrowed to 32
+    // bits so an entry is 16 bytes and a 4-ary node's children share one
+    // cache line. Safe: state_ grows one byte per id, so a queue would need
+    // > 4 GiB of lifecycle bytes before ids could wrap (DCHECKed in Push).
+    uint32_t seq;
     uint32_t slot;  // Index of the callback in slots_.
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
+  /// Strict total order: (when, seq) lexicographic. seq values are unique,
+  /// so no two entries compare equal.
+  static bool Before(const Entry& a, const Entry& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  }
+
+  // Simulated-time width of one calendar epoch. Purely a performance knob:
+  // epoch assignment never affects pop order, only which container an entry
+  // waits in.
+  static constexpr double kEpochWidth = 0.5;
+  // Ring capacity in epochs; must be a power of two. Entries further ahead
+  // than the ring horizon go to overflow_.
+  static constexpr int64_t kRingSize = 64;
+
+  /// Epoch index of a timestamp, saturated so the ring arithmetic below
+  /// never overflows.
+  static int64_t EpochOf(Time when) {
+    const double q = when / kEpochWidth;
+    if (!(q < 9.0e18)) return std::numeric_limits<int64_t>::max();
+    if (!(q > -9.0e18)) return std::numeric_limits<int64_t>::min() / 2;
+    int64_t k = static_cast<int64_t>(q);
+    k -= static_cast<int64_t>(q < static_cast<double>(k));
+    return k;
+  }
+
+  /// Sift `entry` up from the back of the near heap.
+  void HeapPush(const Entry& entry);
+
+  /// Removes the minimum (near_[0]) from the near heap.
+  void HeapPop();
+
+  /// Ensures near_[0] is the earliest live entry: reaps tombstones and
+  /// migrates epochs forward as the near heap drains. Returns false when no
+  /// runnable entry exists anywhere.
+  bool SettleTop();
+
+  /// Moves the next non-empty epoch's entries into the empty near heap,
+  /// dropping cancelled entries. Requires pending entries in ring/overflow.
+  void AdvanceEpoch();
+
+  /// Re-buckets overflow entries against the current window: due entries
+  /// move into the ring/near heap, the rest stay in overflow. Updates
+  /// min_overflow_epoch_.
+  void RedistributeOverflow();
 
   // Lifecycle of an event id (state_[id - 1]).
   enum : uint8_t { kPending = 0, kDone = 1 };  // Done = ran, cancelled+
                                                // reaped, or cleared.
   enum : uint8_t { kCancelled = 2 };           // Cancelled, still in heap.
 
-  /// Pops cancelled entries off the top of the heap, reclaiming slots.
-  void SkipTombstones();
-
   /// Returns the callback slot `slot` to the free pool.
   Callback TakeSlot(uint32_t slot);
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::vector<Entry> near_;  // Current epoch: 4-ary min-heap on Before().
+  std::array<std::vector<Entry>, kRingSize> ring_;  // Future epochs, unsorted.
+  size_t ring_count_ = 0;       // Total entries across ring buckets.
+  std::vector<Entry> overflow_;  // Beyond the ring horizon, unsorted.
+  int64_t cur_epoch_ = 0;       // Epoch the near heap represents.
+  // Smallest epoch of any overflow entry (max() when overflow_ is empty).
+  // AdvanceEpoch must pull overflow back in before advancing past it.
+  int64_t min_overflow_epoch_ = std::numeric_limits<int64_t>::max();
   std::vector<Callback> slots_;       // Callback storage, heap-independent.
   std::vector<uint32_t> free_slots_;  // Recyclable indices into slots_.
   std::vector<uint8_t> state_;        // Per-id lifecycle, indexed by id - 1.

@@ -96,6 +96,10 @@ Status FmSketchArray::Merge(const FmSketchArray& other) {
       other.options_.hash_seed != options_.hash_seed) {
     return Status::InvalidArgument("FM sketch array options mismatch");
   }
+  // OR-ing an all-zero array is a no-op; skipping it outright spares the
+  // per-sketch merge loop on every duplicate-ad receipt when ranking is
+  // off (then every sketch in flight is empty).
+  if (other.Empty()) return Status::Ok();
   for (size_t i = 0; i < sketches_.size(); ++i) {
     Status s = sketches_[i].Merge(other.sketches_[i]);
     if (!s.ok()) return s;

@@ -329,6 +329,85 @@ TEST(MadnetLintTest, NolintInStringLiteralIsNotADirective) {
 }
 
 // --------------------------------------------------------------------------
+// madnet-hot-alloc
+
+TEST(MadnetLintTest, FlagsContainerGrowthInHotFunction) {
+  const auto diags = LintFile("src/net/foo.cc",
+                              "// MADNET_HOT\n"
+                              "void Medium::Deliver(uint32_t to) {\n"
+                              "  pending_.push_back(to);\n"
+                              "}\n");
+  ASSERT_TRUE(HasRule(diags, "madnet-hot-alloc"));
+  EXPECT_EQ(LineOf(diags, "madnet-hot-alloc"), 3);
+}
+
+TEST(MadnetLintTest, FlagsMakeSharedAndNewInHotFunction) {
+  const auto diags = LintFile("src/net/foo.cc",
+                              "// MADNET_HOT\n"
+                              "void Medium::Send() {\n"
+                              "  auto p = std::make_shared<Packet>();\n"
+                              "}\n"
+                              "// MADNET_HOT\n"
+                              "void Medium::Recv() {\n"
+                              "  int* x = new int;\n"
+                              "}\n");
+  EXPECT_EQ(LineOf(diags, "madnet-hot-alloc"), 3);
+  // Line 7 also trips madnet-raw-new; both rules report independently.
+  EXPECT_TRUE(HasRule(diags, "madnet-raw-new"));
+}
+
+TEST(MadnetLintTest, AcceptsScratchAndOutParamGrowthInHotFunction) {
+  const auto diags = LintFile(
+      "src/net/foo.cc",
+      "// MADNET_HOT\n"
+      "void Medium::Query(NeighborBatch* out) const {\n"
+      "  neighbor_scratch_.push_back(1);\n"
+      "  out->ids.push_back(2);\n"
+      "  free_slots_.push_back(3);\n"
+      "  arena_.emplace_back();\n"
+      "}\n");
+  EXPECT_FALSE(HasRule(diags, "madnet-hot-alloc"));
+}
+
+TEST(MadnetLintTest, AcceptsAllocationOutsideHotFunctions) {
+  const auto diags = LintFile("src/net/foo.cc",
+                              "void Medium::AddNode(uint32_t id) {\n"
+                              "  ids_.push_back(id);\n"
+                              "}\n"
+                              "// MADNET_HOT\n"
+                              "void Medium::Deliver() {\n"
+                              "  counter_ += 1;\n"
+                              "}\n"
+                              "void Medium::Detach() {\n"
+                              "  handlers_.emplace_back(nullptr);\n"
+                              "}\n");
+  EXPECT_FALSE(HasRule(diags, "madnet-hot-alloc"));
+}
+
+TEST(MadnetLintTest, HotMarkerOnPrototypeDoesNotSwallowFile) {
+  // A marker on a declaration (no body) must not extend the hot region to
+  // the rest of the file.
+  const auto diags = LintFile("src/net/foo.h",
+                              "// MADNET_HOT\n"
+                              "void Deliver(uint32_t to);\n"
+                              "void Other() {\n"
+                              "  list_.push_back(1);\n"
+                              "}\n");
+  EXPECT_FALSE(HasRule(diags, "madnet-hot-alloc"));
+}
+
+TEST(MadnetLintTest, NolintSuppressesHotAlloc) {
+  const auto diags = LintFile(
+      "src/sim/foo.cc",
+      "// MADNET_HOT\n"
+      "void EventQueue::HeapPush(const Entry& e) {\n"
+      "  // NOLINTNEXTLINE(madnet-hot-alloc): amortized O(1) heap growth\n"
+      "  heap_.push_back(e);\n"
+      "}\n");
+  EXPECT_FALSE(HasRule(diags, "madnet-hot-alloc"));
+}
+
+// --------------------------------------------------------------------------
 // Preprocessor (comment/string stripping)
 
 TEST(MadnetLintTest, StripPreservesLineStructure) {
@@ -380,7 +459,9 @@ TEST(MadnetLintTest, RuleNamesListsEveryRule) {
             names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "madnet-stderr"),
             names.end());
-  EXPECT_EQ(names.size(), 9u);
+  EXPECT_NE(std::find(names.begin(), names.end(), "madnet-hot-alloc"),
+            names.end());
+  EXPECT_EQ(names.size(), 10u);
 }
 
 }  // namespace

@@ -29,4 +29,7 @@ fi
 echo "== tier-1 tests =="
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
 
+echo "== perf smoke =="
+./tools/perf_smoke.sh "./${BUILD_DIR}/bench/throughput"
+
 echo "check.sh: all gates passed"

