@@ -11,15 +11,15 @@
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "scenario/experiment.h"
+#include "exec/replication.h"
 #include "util/table.h"
 
 namespace madnet {
 namespace {
 
-using scenario::Aggregate;
+using exec::Aggregate;
 using scenario::Method;
-using scenario::RunReplicated;
+using exec::RunReplicated;
 using scenario::ScenarioConfig;
 
 ScenarioConfig Base(int peers) {

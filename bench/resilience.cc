@@ -26,16 +26,16 @@
 #include "exec/thread_pool.h"
 #include "obs/manifest.h"
 #include "scenario/config_io.h"
-#include "scenario/experiment.h"
+#include "exec/replication.h"
 #include "util/json.h"
 #include "util/logging.h"
 
 namespace madnet {
 namespace {
 
-using scenario::Aggregate;
+using exec::Aggregate;
 using scenario::Method;
-using scenario::RunReplicated;
+using exec::RunReplicated;
 using scenario::ScenarioConfig;
 
 double SecondsSince(std::chrono::steady_clock::time_point start) {

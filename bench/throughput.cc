@@ -26,7 +26,7 @@
 #include "exec/thread_pool.h"
 #include "obs/manifest.h"
 #include "scenario/config_io.h"
-#include "scenario/experiment.h"
+#include "exec/replication.h"
 #include "scenario/scenario.h"
 #include "util/json.h"
 #include "util/logging.h"
@@ -35,10 +35,10 @@
 namespace madnet {
 namespace {
 
-using scenario::Aggregate;
+using exec::Aggregate;
 using scenario::Method;
 using scenario::MethodName;
-using scenario::RunReplicated;
+using exec::RunReplicated;
 using scenario::RunResult;
 using scenario::RunScenario;
 using scenario::ScenarioConfig;

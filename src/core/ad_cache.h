@@ -11,7 +11,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "core/advertisement.h"
@@ -38,8 +38,8 @@ class AdCache {
   // MADNET_HOT
   CacheEntry* Find(uint64_t key) {
     // Linear scan of the flat key index: the cache is top-k bounded (k is
-    // ~10 in the paper), so scanning a dense key array beats chasing the
-    // map's hash buckets. The map stays the owner — its iteration order is
+    // ~10 in the paper), so scanning a dense key array beats walking the
+    // map. The map stays the owner — its key-sorted iteration order is
     // part of the determinism contract (ForEach/Keys feed RNG draws) —
     // while the side index only accelerates point lookups.
     for (size_t i = 0; i < index_keys_.size(); ++i) {
@@ -69,8 +69,8 @@ class AdCache {
   /// collect expired ads). Mutation of entries is allowed; erasure is not.
   void ForEach(const std::function<void(uint64_t, CacheEntry&)>& fn);
 
-  /// Keys of all entries, unordered. Safe to erase while iterating the
-  /// returned snapshot.
+  /// Keys of all entries, in ascending key order. Safe to erase while
+  /// iterating the returned snapshot.
   std::vector<uint64_t> Keys() const;
 
   size_t Size() const { return entries_.size(); }
@@ -86,7 +86,11 @@ class AdCache {
   void IndexRemove(uint64_t key);
 
   size_t capacity_;
-  std::unordered_map<uint64_t, CacheEntry> entries_;
+  // Ordered on purpose: ForEach/Keys iterate this map and their visit order
+  // feeds RNG draws (opportunistic_gossip), so iteration must be identical
+  // across platforms and standard-library versions — std::map's key order
+  // is; a hash map's bucket order is not (rule madnet-unordered-iteration).
+  std::map<uint64_t, CacheEntry> entries_;
   // Flat mirror of entries_ for Find: parallel key/pointer arrays, order
   // irrelevant (only entries_ defines iteration order). Map node pointers
   // are stable until erase, so the cached pointers never dangle.

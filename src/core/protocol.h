@@ -10,10 +10,10 @@
 #include <cstdint>
 
 #include "core/advertisement.h"
+#include "core/receipt_sink.h"
 #include "net/medium.h"
 #include "obs/trace.h"
 #include "sim/simulator.h"
-#include "stats/delivery.h"
 #include "util/random.h"
 #include "util/status.h"
 
@@ -25,7 +25,9 @@ struct ProtocolContext {
   net::Medium* medium = nullptr;
   net::NodeId self = net::kInvalidNodeId;
   /// Optional sink recording first receipt per (ad, peer); may be null.
-  stats::DeliveryLog* delivery_log = nullptr;
+  /// stats::DeliveryLog implements this (dependency-inverted so core does
+  /// not include stats; see core/receipt_sink.h).
+  ReceiptSink* delivery_log = nullptr;
   /// Per-node random stream (forked from the scenario seed).
   Rng rng{0};
   /// Optional trace sink for protocol-level records (suppression

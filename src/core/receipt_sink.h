@@ -1,0 +1,36 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+//
+// Receipt-recording interface implemented by the metrics pipeline.
+//
+// Protocols (src/core) report first receipts; the delivery-rate machinery
+// that aggregates them lives a layer up in src/stats (stats::DeliveryLog).
+// This abstract sink inverts that dependency so core never includes stats —
+// the layer DAG (docs/STATIC_ANALYSIS.md, rule madnet-layering) puts stats
+// above core, and stats already includes core types.
+
+#ifndef MADNET_CORE_RECEIPT_SINK_H_
+#define MADNET_CORE_RECEIPT_SINK_H_
+
+#include <cstdint>
+
+#include "net/packet.h"
+#include "sim/event_queue.h"
+
+namespace madnet::core {
+
+/// Where protocols report advertisement receipts. Implemented by
+/// stats::DeliveryLog; scenarios pass one through ProtocolContext.
+class ReceiptSink {
+ public:
+  virtual ~ReceiptSink() = default;
+
+  /// Records that `peer` received the advertisement identified by `ad_key`
+  /// (issuer-id << 32 | sequence; see core/advertisement.h) at virtual time
+  /// `when`. Implementations keep only the earliest receipt per (ad, peer).
+  virtual void RecordReceipt(uint64_t ad_key, net::NodeId peer,
+                             sim::Time when) = 0;
+};
+
+}  // namespace madnet::core
+
+#endif  // MADNET_CORE_RECEIPT_SINK_H_

@@ -126,6 +126,9 @@ void ResourceExchange::OnEncounter(net::NodeId from) {
   // Send our most relevant resources, best first, as one batch frame.
   std::vector<const Advertisement*> ranked;
   ranked.reserve(memory_.size());
+  // The collected pointers are immediately re-sorted below under a total
+  // order (relevance desc, then key asc), so hash order cannot leak out.
+  // NOLINTNEXTLINE(madnet-unordered-iteration): order-independent fold.
   for (const auto& [key, ad] : memory_) ranked.push_back(&ad);
   const Vec2 here = Position();
   std::sort(ranked.begin(), ranked.end(),

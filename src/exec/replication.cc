@@ -1,6 +1,6 @@
 // Copyright (c) 2026 madnet authors. All rights reserved.
 
-#include "scenario/experiment.h"
+#include "exec/replication.h"
 
 #include <memory>
 #include <utility>
@@ -12,7 +12,12 @@
 #include "scenario/config_io.h"
 #include "util/logging.h"
 
-namespace madnet::scenario {
+namespace madnet::exec {
+
+using scenario::RunResult;
+using scenario::RunScenario;
+using scenario::SaveConfigText;
+using scenario::ScenarioConfig;
 
 Aggregate RunReplicated(const ScenarioConfig& base, int replications,
                         int jobs) {
@@ -29,8 +34,8 @@ Aggregate RunReplicated(const ScenarioConfig& base, int replications,
   std::vector<RunResult> results(static_cast<size_t>(replications));
   std::vector<std::unique_ptr<obs::RunContext>> contexts(
       session != nullptr ? results.size() : 0);
-  exec::ParallelFor(
-      exec::ResolveJobs(jobs), results.size(), [&](size_t i) {
+  ParallelFor(
+      ResolveJobs(jobs), results.size(), [&](size_t i) {
         ScenarioConfig config = base;
         config.seed = base.seed + static_cast<uint64_t>(i);
         if (session != nullptr) {
@@ -72,4 +77,4 @@ Aggregate RunReplicated(const ScenarioConfig& base, int replications,
   return aggregate;
 }
 
-}  // namespace madnet::scenario
+}  // namespace madnet::exec

@@ -3,17 +3,21 @@
 // Replicated experiment runner: runs a scenario over several seeds and
 // aggregates the paper's metrics, so every figure's data point carries a
 // mean and a spread instead of a single noisy run.
+//
+// Lives in src/exec (the top layer) because it composes the scenario
+// harness with the thread pool: exec may depend on scenario, but scenario
+// must not depend on exec (rule madnet-layering, docs/STATIC_ANALYSIS.md).
 
-#ifndef MADNET_SCENARIO_EXPERIMENT_H_
-#define MADNET_SCENARIO_EXPERIMENT_H_
+#ifndef MADNET_EXEC_REPLICATION_H_
+#define MADNET_EXEC_REPLICATION_H_
 
 #include "scenario/config.h"
 #include "scenario/scenario.h"
 #include "stats/summary.h"
 
-namespace madnet::scenario {
+namespace madnet::exec {
 
-/// Cross-seed aggregation of RunResult.
+/// Cross-seed aggregation of scenario::RunResult.
 struct Aggregate {
   stats::Summary delivery_rate_percent;
   stats::Summary mean_delivery_time_s;
@@ -43,9 +47,9 @@ struct Aggregate {
 /// records, metrics, and a "replication" wall-clock phase — and the
 /// contexts are handed to the session keyed by the replication's config
 /// text, so flushed traces/metrics are also byte-identical at any `jobs`.
-Aggregate RunReplicated(const ScenarioConfig& base, int replications,
-                        int jobs = 1);
+Aggregate RunReplicated(const scenario::ScenarioConfig& base,
+                        int replications, int jobs = 1);
 
-}  // namespace madnet::scenario
+}  // namespace madnet::exec
 
-#endif  // MADNET_SCENARIO_EXPERIMENT_H_
+#endif  // MADNET_EXEC_REPLICATION_H_

@@ -7,7 +7,7 @@
 // about. Determinism contract: the pool makes no ordering promises between
 // tasks; callers that need reproducible output write results into
 // pre-sized, index-addressed slots and reduce them in index order after
-// Wait() (see scenario::RunReplicated).
+// Wait() (see exec::RunReplicated).
 
 #ifndef MADNET_EXEC_THREAD_POOL_H_
 #define MADNET_EXEC_THREAD_POOL_H_

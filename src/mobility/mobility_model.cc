@@ -35,6 +35,9 @@ void MobilityModel::EnsureHorizon(Time horizon) {
     assert(zero_streak < kMaxZeroDurationLegs &&
            "mobility model failed to make progress");
     (void)zero_streak;
+    // The trajectory extends by whole legs (seconds of virtual time each),
+    // so per-query cost is O(1) amortized; hot callers hit the cursor cache.
+    // NOLINTNEXTLINE(madnet-hot-transitive-alloc): amortized growth.
     legs_.push_back(next);
   }
 }

@@ -22,7 +22,7 @@
 // delivery callbacks capture {medium, slot, receiver} — 16 bytes, inside
 // std::function's inline buffer, so scheduling a delivery allocates
 // nothing. A Medium instance is single-threaded by design — concurrent
-// replications each build their own Medium (see scenario::RunReplicated).
+// replications each build their own Medium (see exec::RunReplicated).
 
 #ifndef MADNET_NET_MEDIUM_H_
 #define MADNET_NET_MEDIUM_H_

@@ -3,7 +3,7 @@
 // The metrics registry: named counters, gauges, and fixed-bucket
 // histograms describing one run. Plain and allocation-light — a registry
 // belongs to a single replication (single-threaded, like the simulator);
-// under scenario::RunReplicated each replication fills its own registry
+// under exec::RunReplicated each replication fills its own registry
 // and the per-seed registries are merged *in seed order*, so the merged
 // aggregate is bit-identical at any --jobs.
 //

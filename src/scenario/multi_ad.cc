@@ -118,8 +118,11 @@ MultiAdResult RunMultiAdScenario(const MultiAdConfig& config) {
         std::make_unique<mobility::Stationary>(result.ads[i].location));
   }
   for (int i = 0; i < config.base.num_peers; ++i) {
-    mobilities.push_back(
-        MakePeerMobility(config.base, root.Fork(0x10000 + i)));
+    // Per-peer mobility streams draw from the reserved range
+    // [0x10000, 0x20000), mirroring scenario.cc.
+    mobilities.push_back(MakePeerMobility(
+        config.base,
+        root.Fork(0x10000 + i)));  // NOLINT(madnet-rng-fork-label): reserved range 0x10000+peer.
   }
 
   std::vector<std::unique_ptr<core::Protocol>> protocols;
@@ -133,6 +136,9 @@ MultiAdResult RunMultiAdScenario(const MultiAdConfig& config) {
     context.medium = &medium;
     context.self = id;
     context.delivery_log = &log;
+    // Per-node protocol streams draw from the reserved range
+    // [0x20000, 0x30000), mirroring scenario.cc.
+    // NOLINTNEXTLINE(madnet-rng-fork-label): reserved range 0x20000+node.
     context.rng = root.Fork(0x20000 + id);
     switch (config.base.method) {
       case Method::kFlooding:

@@ -74,6 +74,9 @@ Scenario::Scenario(const ScenarioConfig& config, obs::RunContext* obs)
       std::make_unique<mobility::Stationary>(config_.issue_location));
   // Nodes 1..N: mobile peers.
   for (int i = 1; i <= config_.num_peers; ++i) {
+    // Per-peer mobility streams draw from the reserved range
+    // [0x10000, 0x20000), disjoint from every other Fork range.
+    // NOLINTNEXTLINE(madnet-rng-fork-label): reserved range 0x10000+peer.
     mobilities_.push_back(MakeMobility(root.Fork(0x10000 + i)));
   }
 
@@ -83,6 +86,9 @@ Scenario::Scenario(const ScenarioConfig& config, obs::RunContext* obs)
     (void)added;
   }
   for (net::NodeId id = 0; id < static_cast<net::NodeId>(node_count); ++id) {
+    // Per-node protocol streams draw from the reserved range
+    // [0x20000, 0x30000), disjoint from every other Fork range.
+    // NOLINTNEXTLINE(madnet-rng-fork-label): reserved range 0x20000+node.
     protocols_.push_back(MakeProtocol(id, root.Fork(0x20000 + id)));
     protocols_.back()->Start();
   }

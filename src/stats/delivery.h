@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/receipt_sink.h"
 #include "mobility/mobility_model.h"
 #include "net/packet.h"
 #include "stats/summary.h"
@@ -91,11 +92,13 @@ class AreaTracker {
   size_t passed_count_ = 0;
 };
 
-/// Records the first time each peer received each advertisement.
-class DeliveryLog {
+/// Records the first time each peer received each advertisement. Implements
+/// core::ReceiptSink so protocols can report receipts without src/core
+/// depending on src/stats (see core/receipt_sink.h).
+class DeliveryLog : public core::ReceiptSink {
  public:
   /// Records a receipt; keeps only the earliest per (ad, peer).
-  void RecordReceipt(AdKey ad, NodeId peer, Time when);
+  void RecordReceipt(AdKey ad, NodeId peer, Time when) override;
 
   /// First receipt time, or negative if the peer never received the ad.
   Time FirstReceipt(AdKey ad, NodeId peer) const;

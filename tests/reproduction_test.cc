@@ -8,10 +8,12 @@
 
 #include <gtest/gtest.h>
 
-#include "scenario/experiment.h"
+#include "exec/replication.h"
 
 namespace madnet::scenario {
 namespace {
+
+using exec::RunReplicated;
 
 constexpr int kSeeds = 3;
 

@@ -7,10 +7,13 @@
 
 #include <gtest/gtest.h>
 
-#include "scenario/experiment.h"
+#include "exec/replication.h"
 
 namespace madnet::scenario {
 namespace {
+
+using exec::Aggregate;
+using exec::RunReplicated;
 
 ScenarioConfig SmallConfig(Method method) {
   ScenarioConfig config;

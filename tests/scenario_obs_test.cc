@@ -18,11 +18,13 @@
 #include "obs/run_context.h"
 #include "obs/session.h"
 #include "obs/trace_reader.h"
-#include "scenario/experiment.h"
+#include "exec/replication.h"
 #include "scenario/scenario.h"
 
 namespace madnet::scenario {
 namespace {
+
+using exec::RunReplicated;
 
 ScenarioConfig SmallConfig() {
   ScenarioConfig config;

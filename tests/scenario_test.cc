@@ -7,11 +7,14 @@
 
 #include <gtest/gtest.h>
 
-#include "scenario/experiment.h"
+#include "exec/replication.h"
 #include "scenario/scenario.h"
 
 namespace madnet::scenario {
 namespace {
+
+using exec::Aggregate;
+using exec::RunReplicated;
 
 /// A small, fast configuration used across the integration tests.
 ScenarioConfig FastConfig(Method method, int peers = 150, uint64_t seed = 1) {

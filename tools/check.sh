@@ -2,10 +2,20 @@
 # One-stop local gate: madnet_lint + clang-tidy (when installed) + tier-1
 # tests. Mirrors what CI runs, so a clean check.sh means a green PR.
 #
-# Usage: tools/check.sh [build-dir]   (default: build)
+# Usage: tools/check.sh [--changed-only] [build-dir]   (default: build)
+#
+# --changed-only passes through to madnet_lint: only files in
+# `git diff --name-only origin/main...` are reported (the whole tree is
+# still indexed for cross-file context), keeping the lint step fast as the
+# repo grows.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+LINT_ARGS=()
+if [[ "${1:-}" == "--changed-only" ]]; then
+  LINT_ARGS+=(--changed-only)
+  shift
+fi
 BUILD_DIR="${1:-build}"
 
 echo "== configure (${BUILD_DIR}) =="
@@ -15,7 +25,7 @@ echo "== build =="
 cmake --build "${BUILD_DIR}" -j
 
 echo "== madnet_lint =="
-"./${BUILD_DIR}/tools/madnet_lint" --root .
+"./${BUILD_DIR}/tools/madnet_lint" --root . ${LINT_ARGS[@]+"${LINT_ARGS[@]}"}
 
 if command -v run-clang-tidy >/dev/null 2>&1 && \
    command -v clang-tidy >/dev/null 2>&1; then

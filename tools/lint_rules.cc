@@ -3,10 +3,13 @@
 #include "lint_rules.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <regex>
 #include <set>
 #include <sstream>
+
+#include "project_model.h"
 
 namespace madnet::lint {
 namespace {
@@ -408,8 +411,12 @@ void CheckNodiscardStatus(const FileScan& scan, std::vector<Diagnostic>* out) {
 // ---------------------------------------------------------------------------
 // madnet-unordered-iteration.
 
-bool InAggregationPath(const std::string& path) {
-  return InDirectory(path, "src/stats/") || InDirectory(path, "src/scenario/");
+// The rule covers all of src/: hash-order iteration is a portability trap
+// wherever it feeds FP sums, RNG draws, broadcast order, or user-visible
+// output, not just in the stats/scenario aggregation paths it originally
+// guarded. Order-independent folds carry a justified NOLINT instead.
+bool InUnorderedIterationScope(const std::string& path) {
+  return InDirectory(path, "src/");
 }
 
 // Collects identifiers bound to unordered containers on `line`: variables
@@ -435,7 +442,7 @@ void CollectUnorderedNames(const std::string& line,
 void CheckUnorderedIteration(const FileScan& scan,
                              const std::set<std::string>& unordered_names,
                              std::vector<Diagnostic>* out) {
-  if (!InAggregationPath(scan.path)) return;
+  if (!InUnorderedIterationScope(scan.path)) return;
   static const std::regex kRangeForRe("\\bfor\\s*\\([^)]*:([^)]*)\\)");
   for (size_t idx = 0; idx < scan.code_lines.size(); ++idx) {
     const std::string& line = scan.code_lines[idx];
@@ -464,8 +471,10 @@ void CheckUnorderedIteration(const FileScan& scan,
     out->push_back(
         {scan.path, lineno, "madnet-unordered-iteration",
          "iteration over " + offender +
-             " in an aggregation path: hash order is not deterministic "
-             "across platforms; use std::map/std::set or sort first"});
+             ": hash order is not deterministic across platforms or "
+             "library versions; use std::map/std::set, sort first, or "
+             "NOLINT with a justification that the fold is "
+             "order-independent"});
   }
 }
 
@@ -534,50 +543,312 @@ std::vector<bool> HotRegionLines(const FileScan& scan) {
   return hot;
 }
 
-void CheckHotAlloc(const FileScan& scan, std::vector<Diagnostic>* out) {
+// True if the (code-view) line performs a heap allocation that the hot-path
+// policy bans: `new`, make_shared/make_unique, or growth on a container
+// whose receiver chain does not name a reused scratch/arena/pool buffer or
+// an out-parameter. Shared by madnet-hot-alloc (direct) and
+// madnet-hot-transitive-alloc (call-graph reachable).
+bool LineHasHotAllocViolation(const std::string& line) {
   static const std::regex kAllocRe(
       "\\bnew\\b|\\bmake_(shared|unique)\\b");
   static const std::regex kGrowRe(
       "((?:[A-Za-z_][A-Za-z0-9_]*\\s*(?:\\.|->)\\s*)+)"
       "(push_back|emplace_back|emplace|insert)\\s*\\(");
   static const std::regex kIdentRe("[A-Za-z_][A-Za-z0-9_]*");
+  if (std::regex_search(line, kAllocRe)) return true;
+  std::smatch match;
+  std::string rest = line;
+  while (std::regex_search(rest, match, kGrowRe)) {
+    // Allow if any identifier in the receiver chain names a reused
+    // buffer (covers `scratch_.push_back` and `out->ids.push_back`).
+    const std::string chain = match[1].str();
+    bool allowed = false;
+    auto begin = std::sregex_iterator(chain.begin(), chain.end(), kIdentRe);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      if (IsReusedBufferName(it->str())) {
+        allowed = true;
+        break;
+      }
+    }
+    if (!allowed) return true;
+    rest = match.suffix().str();
+  }
+  return false;
+}
+
+void CheckHotAlloc(const FileScan& scan, std::vector<Diagnostic>* out) {
   const std::vector<bool> hot = HotRegionLines(scan);
   for (size_t idx = 0; idx < scan.code_lines.size(); ++idx) {
     if (!hot[idx]) continue;
-    const std::string& line = scan.code_lines[idx];
     const int lineno = static_cast<int>(idx) + 1;
-    bool violation = false;
-    if (std::regex_search(line, kAllocRe)) {
-      violation = true;
-    } else {
-      std::smatch match;
-      std::string rest = line;
-      while (std::regex_search(rest, match, kGrowRe)) {
-        // Allow if any identifier in the receiver chain names a reused
-        // buffer (covers `scratch_.push_back` and `out->ids.push_back`).
-        const std::string chain = match[1].str();
-        bool allowed = false;
-        auto begin =
-            std::sregex_iterator(chain.begin(), chain.end(), kIdentRe);
-        for (auto it = begin; it != std::sregex_iterator(); ++it) {
-          if (IsReusedBufferName(it->str())) {
-            allowed = true;
-            break;
-          }
-        }
-        if (!allowed) {
-          violation = true;
-          break;
-        }
-        rest = match.suffix().str();
-      }
-    }
-    if (!violation) continue;
+    if (!LineHasHotAllocViolation(scan.code_lines[idx])) continue;
     if (Suppressed(scan.suppressions, lineno, "madnet-hot-alloc")) continue;
     out->push_back(
         {scan.path, lineno, "madnet-hot-alloc",
          "allocation in a MADNET_HOT function: reuse a scratch/arena "
          "buffer, or NOLINT with a justification if growth is amortized"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// madnet-layering.
+
+// The declared architecture, lowest layer first. A src/<module> file may
+// include its own module and any module of a *strictly lower* layer.
+// Same-layer includes are tolerated (the sets below are peers by design)
+// but the module include graph must stay acyclic — the cycle check fails
+// the build the moment e.g. core -> net gains a net -> core back edge.
+// Keep this table in sync with docs/STATIC_ANALYSIS.md ("Layering") and
+// docs/architecture.md.
+struct Layer {
+  const char* module;
+  int rank;
+};
+
+const std::vector<Layer>& LayerTable() {
+  static const std::vector<Layer> table{
+      {"util", 0},
+      {"sketch", 1}, {"obs", 1},
+      {"core", 2},   {"mobility", 2}, {"net", 2}, {"sim", 2},
+      {"fault", 3},  {"stats", 3},    {"scenario", 3},
+      {"exec", 4},
+  };
+  return table;
+}
+
+int LayerRankOf(const std::string& module) {
+  for (const Layer& layer : LayerTable()) {
+    if (module == layer.module) return layer.rank;
+  }
+  return -1;
+}
+
+const char* kLayerDagText =
+    "util -> {sketch,obs} -> {core,mobility,net,sim} -> "
+    "{fault,stats,scenario} -> exec";
+
+// Looks up the scan of `path` (for suppression checks on diagnostics the
+// project rules attribute to arbitrary files).
+const FileScan* ScanOf(const std::vector<FileScan>& scans,
+                       const std::string& path) {
+  for (const FileScan& scan : scans) {
+    if (scan.path == path) return &scan;
+  }
+  return nullptr;
+}
+
+void CheckLayering(const ProjectModel& model,
+                   const std::vector<FileScan>& scans,
+                   std::vector<Diagnostic>* out) {
+  // Edge direction checks, file by file.
+  for (const ModelFile& file : model.files()) {
+    if (!file.in_src) continue;
+    const FileScan* scan = ScanOf(scans, file.path);
+    const int source_rank = LayerRankOf(file.module);
+    if (source_rank < 0) {
+      out->push_back(
+          {file.path, 1, "madnet-layering",
+           "module 'src/" + file.module +
+               "' is not in the layer table; add it to LayerTable() in "
+               "tools/lint_rules.cc and to docs/STATIC_ANALYSIS.md"});
+      continue;
+    }
+    for (const IncludeSite& site : file.includes) {
+      if (site.module.empty() || site.module == file.module) continue;
+      if (scan != nullptr &&
+          Suppressed(scan->suppressions, site.line, "madnet-layering")) {
+        continue;
+      }
+      const int target_rank = LayerRankOf(site.module);
+      if (target_rank < 0) {
+        out->push_back(
+            {file.path, site.line, "madnet-layering",
+             "include of '" + site.target + "': module '" + site.module +
+                 "' is not in the layer table; add it to LayerTable() in "
+                 "tools/lint_rules.cc"});
+        continue;
+      }
+      if (target_rank > source_rank) {
+        out->push_back(
+            {file.path, site.line, "madnet-layering",
+             "layer violation: src/" + file.module + " (layer " +
+                 std::to_string(source_rank) + ") may not include src/" +
+                 site.module + " (layer " + std::to_string(target_rank) +
+                 "); the dependency DAG is " + kLayerDagText +
+                 " (docs/STATIC_ANALYSIS.md)"});
+      }
+    }
+  }
+
+  // Cycle check over the module projection (catches same-layer cycles the
+  // rank test cannot, e.g. core -> net -> core). Deterministic: modules
+  // and edges iterate in sorted order.
+  std::map<std::string, std::vector<std::string>> adjacency;
+  for (const auto& [edge, site] : model.module_edges()) {
+    adjacency[edge.first].push_back(edge.second);
+  }
+  std::map<std::string, int> color;  // 0 white, 1 gray, 2 black.
+  std::vector<std::string> path;
+  // Iterative DFS with an explicit stack of (node, next-child) frames.
+  for (const auto& [start, unused] : adjacency) {
+    if (color[start] != 0) continue;
+    std::vector<std::pair<std::string, size_t>> stack{{start, 0}};
+    color[start] = 1;
+    path.push_back(start);
+    while (!stack.empty()) {
+      auto& [node, next] = stack.back();
+      const auto it = adjacency.find(node);
+      if (it == adjacency.end() || next >= it->second.size()) {
+        color[node] = 2;
+        path.pop_back();
+        stack.pop_back();
+        continue;
+      }
+      const std::string& target = it->second[next++];
+      if (color[target] == 1) {
+        // Back edge: render the cycle path from `target` around to `node`.
+        std::string cycle;
+        bool in_cycle = false;
+        for (const std::string& module : path) {
+          if (module == target) in_cycle = true;
+          if (in_cycle) cycle += module + " -> ";
+        }
+        cycle += target;
+        const auto site =
+            model.module_edges().find(std::make_pair(node, target));
+        const std::string at_file =
+            site != model.module_edges().end() ? site->second.file : "";
+        const int at_line =
+            site != model.module_edges().end() ? site->second.line : 1;
+        const FileScan* scan = ScanOf(scans, at_file);
+        if (scan == nullptr ||
+            !Suppressed(scan->suppressions, at_line, "madnet-layering")) {
+          out->push_back(
+              {at_file, at_line, "madnet-layering",
+               "include cycle between src modules: " + cycle +
+                   "; break the cycle (dependency-invert or move the "
+                   "shared type down a layer)"});
+        }
+        continue;
+      }
+      if (color[target] == 0) {
+        color[target] = 1;
+        path.push_back(target);
+        stack.push_back({target, 0});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// madnet-hot-transitive-alloc.
+
+void CheckHotTransitiveAlloc(const ProjectModel& model,
+                             const std::vector<FileScan>& scans,
+                             std::vector<Diagnostic>* out) {
+  for (const auto& reachable : model.HotReachableFunctions()) {
+    const ModelFile& file =
+        model.files()[static_cast<size_t>(reachable.function.first)];
+    const FunctionSpan& span =
+        file.functions[static_cast<size_t>(reachable.function.second)];
+    const FileScan* scan = ScanOf(scans, file.path);
+    if (scan == nullptr) continue;
+    // Lines already inside a directly-marked MADNET_HOT body belong to
+    // madnet-hot-alloc; this rule covers the unmarked remainder.
+    const std::vector<bool> directly_hot = HotRegionLines(*scan);
+    for (int lineno = span.body_begin; lineno <= span.body_end; ++lineno) {
+      const size_t idx = static_cast<size_t>(lineno) - 1;
+      if (idx >= scan->code_lines.size()) break;
+      if (directly_hot[idx]) continue;
+      if (!LineHasHotAllocViolation(scan->code_lines[idx])) continue;
+      if (Suppressed(scan->suppressions, lineno,
+                     "madnet-hot-transitive-alloc")) {
+        continue;
+      }
+      const std::string name =
+          span.qualified.empty() ? span.name : span.qualified;
+      out->push_back(
+          {file.path, lineno, "madnet-hot-transitive-alloc",
+           "allocation in '" + name +
+               "', which is reachable from a MADNET_HOT function (" +
+               reachable.chain +
+               "): reuse a scratch/arena buffer, or NOLINT with a "
+               "justification (cold branch, amortized growth, or a "
+               "heuristic call-graph false positive)"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// madnet-rng-fork-label.
+
+// util/random owns Fork() itself (implementation + tests of the mixer).
+bool ExemptFromForkLabelRule(const std::string& path) {
+  return Contains(path, "src/util/random");
+}
+
+std::string HexLabel(uint64_t value) {
+  std::ostringstream out;
+  out << "0x" << std::hex << std::uppercase << value;
+  return out.str();
+}
+
+void CheckRngForkLabel(const ProjectModel& model,
+                       const std::vector<FileScan>& scans,
+                       std::vector<Diagnostic>* out) {
+  struct Site {
+    const ModelFile* file;
+    const ForkSite* fork;
+  };
+  std::vector<Site> sites;
+  for (const ModelFile& file : model.files()) {
+    if (!file.in_src || ExemptFromForkLabelRule(file.path)) continue;
+    for (const ForkSite& fork : file.forks) {
+      sites.push_back(Site{&file, &fork});
+    }
+  }
+  // Pass 1: literal labels, grouped by value for duplicate detection.
+  std::map<uint64_t, std::vector<const Site*>> by_value;
+  for (const Site& site : sites) {
+    if (site.fork->literal) by_value[site.fork->value].push_back(&site);
+  }
+  for (const Site& site : sites) {
+    const FileScan* scan = ScanOf(scans, site.file->path);
+    if (scan != nullptr && Suppressed(scan->suppressions, site.fork->line,
+                                      "madnet-rng-fork-label")) {
+      continue;
+    }
+    if (!site.fork->literal) {
+      out->push_back(
+          {site.file->path, site.fork->line, "madnet-rng-fork-label",
+           "Rng::Fork label '" + site.fork->argument +
+               "' is not a compile-time integer literal, so stream "
+               "identity cannot be audited project-wide; use a distinct "
+               "literal, or NOLINT with a justification naming the "
+               "disjoint label range a derived label draws from"});
+      continue;
+    }
+    const std::vector<const Site*>& peers = by_value[site.fork->value];
+    if (peers.size() > 1) {
+      // Name one *other* site so the message is actionable.
+      const Site* other = nullptr;
+      for (const Site* peer : peers) {
+        if (peer->file != site.file || peer->fork != site.fork) {
+          other = peer;
+          break;
+        }
+      }
+      out->push_back(
+          {site.file->path, site.fork->line, "madnet-rng-fork-label",
+           "duplicate Rng::Fork label " + HexLabel(site.fork->value) +
+               " (also used at " +
+               (other != nullptr
+                    ? other->file->path + ":" +
+                          std::to_string(other->fork->line)
+                    : "another site") +
+               "): identical labels fork *correlated* streams; every Fork "
+               "site needs a project-unique label"});
+    }
   }
 }
 
@@ -602,6 +873,9 @@ const std::vector<std::string>& RuleNames() {
       "madnet-raw-new",
       "madnet-nodiscard-status",
       "madnet-hot-alloc",
+      "madnet-hot-transitive-alloc",
+      "madnet-layering",
+      "madnet-rng-fork-label",
       "madnet-nolint",
   };
   return names;
@@ -613,6 +887,13 @@ void Linter::AddFile(std::string path, std::string content) {
   files_.push_back(File{std::move(path), std::move(content)});
 }
 
+void Linter::SetActiveFiles(const std::vector<std::string>& paths) {
+  active_files_ = paths;
+  for (std::string& path : active_files_) {
+    std::replace(path.begin(), path.end(), '\\', '/');
+  }
+}
+
 std::vector<Diagnostic> Linter::Run() const {
   std::vector<FileScan> scans;
   scans.reserve(files_.size());
@@ -620,20 +901,35 @@ std::vector<Diagnostic> Linter::Run() const {
     scans.push_back(ScanFile(file.path, file.content));
   }
 
-  // Pass 1: container names for the unordered-iteration rule. Names are
-  // collected from aggregation-path files only, so e.g. a Medium member in
-  // src/net cannot shadow-flag a scenario loop.
+  // Pass 1a: container names for the unordered-iteration rule. Names are
+  // collected from in-scope files only, so e.g. a container member in
+  // bench/ cannot shadow-flag a src/ loop.
   std::set<std::string> unordered_names;
   for (const FileScan& scan : scans) {
-    if (!InAggregationPath(scan.path)) continue;
+    if (!InUnorderedIterationScope(scan.path)) continue;
     for (const std::string& line : scan.code_lines) {
       CollectUnorderedNames(line, &unordered_names);
     }
   }
 
+  // Pass 1b: the whole-project model (include graph, function spans, call
+  // graph, Fork sites). Always built from *every* added file so the
+  // project rules see full context even under --changed-only.
+  ProjectModel model;
+  for (const FileScan& scan : scans) {
+    model.AddFile(scan.path, scan.raw_lines, scan.code_lines);
+  }
+
+  const auto active = [this](const std::string& path) {
+    if (active_files_.empty()) return true;
+    return std::find(active_files_.begin(), active_files_.end(), path) !=
+           active_files_.end();
+  };
+
   // Pass 2: all rules.
   std::vector<Diagnostic> diagnostics;
   for (const FileScan& scan : scans) {
+    if (!active(scan.path)) continue;
     for (const Diagnostic& diagnostic : scan.suppressions.diagnostics) {
       diagnostics.push_back(diagnostic);
     }
@@ -665,6 +961,17 @@ std::vector<Diagnostic> Linter::Run() const {
     CheckUnorderedIteration(scan, unordered_names, &diagnostics);
   }
 
+  // Project-model rules: run over everything, then filter to active files.
+  std::vector<Diagnostic> project_diagnostics;
+  CheckLayering(model, scans, &project_diagnostics);
+  CheckHotTransitiveAlloc(model, scans, &project_diagnostics);
+  CheckRngForkLabel(model, scans, &project_diagnostics);
+  for (Diagnostic& diagnostic : project_diagnostics) {
+    if (active(diagnostic.file)) {
+      diagnostics.push_back(std::move(diagnostic));
+    }
+  }
+
   std::sort(diagnostics.begin(), diagnostics.end(),
             [](const Diagnostic& a, const Diagnostic& b) {
               if (a.file != b.file) return a.file < b.file;
@@ -679,6 +986,90 @@ std::vector<Diagnostic> LintFile(const std::string& path,
   Linter linter;
   linter.AddFile(path, content);
   return linter.Run();
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SarifReport(const std::vector<Diagnostic>& diagnostics) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"madnet_lint\",\n"
+      << "          \"informationUri\": "
+         "\"docs/STATIC_ANALYSIS.md\",\n"
+      << "          \"rules\": [\n";
+  const auto& names = RuleNames();
+  for (size_t i = 0; i < names.size(); ++i) {
+    out << "            {\"id\": \"" << JsonEscape(names[i]) << "\"}"
+        << (i + 1 < names.size() ? "," : "") << "\n";
+  }
+  out << "          ]\n"
+      << "        }\n"
+      << "      },\n"
+      << "      \"results\": [\n";
+  for (size_t i = 0; i < diagnostics.size(); ++i) {
+    const Diagnostic& d = diagnostics[i];
+    out << "        {\n"
+        << "          \"ruleId\": \"" << JsonEscape(d.rule) << "\",\n"
+        << "          \"level\": \"error\",\n"
+        << "          \"message\": {\"text\": \"" << JsonEscape(d.message)
+        << "\"},\n"
+        << "          \"locations\": [\n"
+        << "            {\n"
+        << "              \"physicalLocation\": {\n"
+        << "                \"artifactLocation\": {\"uri\": \""
+        << JsonEscape(d.file) << "\"},\n"
+        << "                \"region\": {\"startLine\": " << d.line << "}\n"
+        << "              }\n"
+        << "            }\n"
+        << "          ]\n"
+        << "        }" << (i + 1 < diagnostics.size() ? "," : "") << "\n";
+  }
+  out << "      ]\n"
+      << "    }\n"
+      << "  ]\n"
+      << "}\n";
+  return out.str();
 }
 
 }  // namespace madnet::lint

@@ -7,14 +7,21 @@
 // seed. No libclang dependency — files are scanned line-by-line after
 // comments and string literals are blanked out.
 //
+// The engine runs in two passes. Pass 1 indexes every file into a
+// ProjectModel (tools/project_model.h): include graph, function spans, a
+// heuristic call graph, Rng::Fork label sites, MADNET_HOT markers. Pass 2
+// runs the rules; the per-line rules see one file at a time, the
+// project-model rules (layering, transitive hot allocation, Fork-label
+// discipline) see the whole project.
+//
 // Rules (see docs/STATIC_ANALYSIS.md for the full policy):
 //   madnet-rand                 std::rand / srand anywhere.
 //   madnet-wallclock            time(nullptr), gettimeofday, localtime,
 //                               std::chrono::system_clock in src/.
 //   madnet-random-device        std::random_device outside src/util/random.
 //   madnet-unseeded-mt19937     default-constructed std::mt19937[_64].
-//   madnet-unordered-iteration  range-for over unordered containers in
-//                               src/stats/ and src/scenario/ files.
+//   madnet-unordered-iteration  range-for over unordered containers
+//                               anywhere in src/.
 //   madnet-raw-new              raw new/delete outside allow-listed files.
 //   madnet-nodiscard-status     Status/StatusOr declaration without
 //                               [[nodiscard]].
@@ -23,6 +30,21 @@
 //                               marked `// MADNET_HOT`, unless the
 //                               receiver is a reused scratch/arena/pool
 //                               buffer or an out-parameter.
+//   madnet-hot-transitive-alloc the same allocation check extended to
+//                               every src/ function *reachable* from a
+//                               MADNET_HOT function through the heuristic
+//                               call graph.
+//   madnet-layering             include edge between src/ modules that
+//                               climbs the declared layer DAG
+//                               (util -> {sketch,obs} ->
+//                               {core,mobility,net,sim} ->
+//                               {fault,stats,scenario} -> exec), targets a
+//                               module missing from the table, or closes
+//                               a module-level include cycle.
+//   madnet-rng-fork-label       Rng::Fork call whose label is not an
+//                               integer literal, or whose literal value is
+//                               reused by another Fork site in src/
+//                               (duplicate labels correlate streams).
 //   madnet-nolint               NOLINT without a justification, or naming
 //                               an unknown madnet rule.
 //
@@ -55,12 +77,21 @@ const std::vector<std::string>& RuleNames();
 
 /// The cross-file rule engine. Add every file first, then Run(): the
 /// unordered-iteration rule needs the full file set to resolve container
-/// names declared in headers but iterated in sources.
+/// names declared in headers but iterated in sources, and the project-model
+/// rules need the whole include/call graph.
 class Linter {
  public:
   /// Registers a file. `path` must be repo-relative with forward slashes;
   /// path-dependent rules (allowlists, directory scoping) key off it.
   void AddFile(std::string path, std::string content);
+
+  /// Restricts *reporting* to the given repo-relative paths (the
+  /// `--changed-only` mode). Every added file still feeds pass 1 — cross-
+  /// file name resolution, the include graph, and call-graph reachability
+  /// stay whole-project — but per-line rules skip unlisted files and
+  /// project-rule diagnostics landing in them are dropped. An empty list
+  /// restores full reporting.
+  void SetActiveFiles(const std::vector<std::string>& paths);
 
   /// Runs every rule over all added files. Diagnostics are sorted by
   /// (file, line, rule) so output is deterministic.
@@ -72,6 +103,7 @@ class Linter {
     std::string content;
   };
   std::vector<File> files_;
+  std::vector<std::string> active_files_;  // Empty = report everything.
 };
 
 /// Convenience wrapper: lints one file in isolation (cross-file name
@@ -82,6 +114,11 @@ std::vector<Diagnostic> LintFile(const std::string& path,
 /// Blanks comments and string/character literals (including raw strings),
 /// preserving line structure. Exposed for tests.
 std::string StripCommentsAndStrings(const std::string& content);
+
+/// Renders diagnostics as a SARIF 2.1.0 log (one run, one result per
+/// diagnostic) so CI can annotate PR diffs. Deterministic: preserves the
+/// sorted diagnostic order and lists every rule id.
+std::string SarifReport(const std::vector<Diagnostic>& diagnostics);
 
 }  // namespace madnet::lint
 

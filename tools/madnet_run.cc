@@ -15,7 +15,7 @@
 
 #include "mobility/trace_io.h"
 #include "scenario/config_io.h"
-#include "scenario/experiment.h"
+#include "exec/replication.h"
 #include "scenario/scenario.h"
 #include "util/flags.h"
 #include "util/json.h"
@@ -24,7 +24,8 @@
 namespace madnet {
 namespace {
 
-using scenario::Aggregate;
+using exec::Aggregate;
+using exec::RunReplicated;
 using scenario::Method;
 using scenario::MethodName;
 using scenario::ScenarioConfig;
