@@ -23,6 +23,13 @@
 //                                             category (default 1).
 //   MADNET_METRICS_OUT / --metrics-out=FILE — manifest + merged metrics
 //                                             JSON output path.
+//   MADNET_FLIGHT_RECORDER /
+//     --flight-recorder                     — keep a bounded in-memory ring
+//                                             of recent trace records per
+//                                             replication, dumped to a
+//                                             postmortem file on DCHECK
+//                                             failure ($MADNET_POSTMORTEM
+//                                             or ./madnet_postmortem.jsonl).
 
 #ifndef MADNET_BENCH_BENCH_UTIL_H_
 #define MADNET_BENCH_BENCH_UTIL_H_
@@ -60,10 +67,13 @@ struct BenchEnv {
   std::string metrics_path;
   uint32_t trace_categories = obs::kTraceAll;
   uint32_t trace_sample = 1;
+  bool flight_recorder = false;
 
-  /// True when any observability output was requested.
+  /// True when any observability output was requested. A flight recorder
+  /// alone counts: it produces no artifact on a clean run, but needs the
+  /// session installed so every replication carries a postmortem ring.
   bool ObsRequested() const {
-    return !trace_path.empty() || !metrics_path.empty();
+    return !trace_path.empty() || !metrics_path.empty() || flight_recorder;
   }
 
   static BenchEnv FromEnvironment() {
@@ -93,6 +103,9 @@ struct BenchEnv {
     if (const char* metrics = std::getenv("MADNET_METRICS_OUT")) {
       env.metrics_path = metrics;
     }
+    if (const char* recorder = std::getenv("MADNET_FLIGHT_RECORDER")) {
+      env.flight_recorder = recorder[0] != '\0';
+    }
     return env;
   }
 
@@ -119,6 +132,8 @@ struct BenchEnv {
             static_cast<uint32_t>(std::max(1, std::atoi(arg + 15)));
       } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
         env.metrics_path = arg + 14;
+      } else if (std::strcmp(arg, "--flight-recorder") == 0) {
+        env.flight_recorder = true;
       }
     }
     return env;
@@ -166,6 +181,7 @@ class ObsGuard {
     obs::SessionOptions options;
     options.trace.categories = env.trace_categories;
     options.trace.sample_period = env.trace_sample;
+    options.trace.flight_recorder = env.flight_recorder;
     options.trace_path = env.trace_path;
     options.metrics_path = env.metrics_path;
     obs::Session::Configure(options);

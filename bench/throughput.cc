@@ -6,7 +6,12 @@
 //   1. Single-run hot path: one reference scenario (1000 peers, Table II
 //      otherwise) — wall-clock, events/sec, broadcasts/sec. This is the
 //      number the Medium/SpatialIndex optimisations move.
-//   2. Sweep engine: a fig07-style (method × network size) grid, run
+//   2. Dissemination quality: one observed replication of the reference
+//      scenario with provenance tracing on; delivery-latency p50/p99 and
+//      the redundancy ratio come from the same obs::DisseminationForest
+//      that madnet_tracequery uses, so quality regressions (not just
+//      speed regressions) show up in the tracked JSON.
+//   3. Sweep engine: a fig07-style (method × network size) grid, run
 //      serially and then with a worker per hardware thread — wall-clock
 //      both ways and the resulting speedup. This is the number the
 //      exec::ThreadPool engine moves.
@@ -19,12 +24,16 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "exec/parallel_for.h"
 #include "exec/thread_pool.h"
 #include "obs/manifest.h"
+#include "obs/run_context.h"
+#include "obs/trace_query.h"
+#include "obs/trace_reader.h"
 #include "scenario/config_io.h"
 #include "exec/replication.h"
 #include "scenario/scenario.h"
@@ -126,7 +135,50 @@ void Run(const bench::BenchEnv& env) {
               static_cast<unsigned long long>(single.Messages()),
               broadcasts_per_sec);
 
-  // --- 2. Sweep engine, serial vs parallel. ---
+  // --- 2. Dissemination quality (provenance-derived). ---
+  // One observed replication with deliver/tx/rx tracing; the records feed
+  // the same DisseminationForest that madnet_tracequery uses, so the
+  // tracked quality numbers are exactly the tool's numbers. A malformed
+  // record here means an emitter broke the documented schema — fail.
+  obs::TraceOptions quality_trace;
+  quality_trace.categories =
+      obs::kTraceDeliver | obs::kTraceTx | obs::kTraceRx;
+  obs::RunContext quality_context(quality_trace);
+  (void)RunScenario(reference, &quality_context);
+  obs::DisseminationForest forest;
+  {
+    std::istringstream lines(quality_context.trace.text());
+    std::string line;
+    obs::TraceEvent event;
+    uint64_t line_number = 0;
+    while (std::getline(lines, line)) {
+      ++line_number;
+      if (line.empty()) continue;
+      Status status = obs::ParseTraceLine(line, &event);
+      if (status.ok()) status = forest.Add(event);
+      if (!status.ok()) {
+        MADNET_LOG_ERROR("quality trace line %llu: %s",
+                         static_cast<unsigned long long>(line_number),
+                         status.ToString().c_str());
+        std::exit(EXIT_FAILURE);
+      }
+    }
+  }
+  const obs::ForestStats quality = forest.Summarize();
+  const uint32_t quality_max_hop = quality.hop_histogram.empty()
+                                       ? 0
+                                       : quality.hop_histogram.rbegin()->first;
+  std::printf("\nDissemination quality (1 observed run, %d peers):\n",
+              reference.num_peers);
+  std::printf("  deliveries        %llu (max hop %u)\n",
+              static_cast<unsigned long long>(quality.deliveries),
+              quality_max_hop);
+  std::printf("  delivery latency  p50 %.3f s  p99 %.3f s  mean %.3f s\n",
+              quality.latency_p50, quality.latency_p99, quality.latency_mean);
+  std::printf("  redundancy        %.2f ad-carrying frames per delivery\n",
+              quality.redundancy_ratio);
+
+  // --- 3. Sweep engine, serial vs parallel. ---
   std::vector<Method> methods = {Method::kFlooding, Method::kGossip,
                                  Method::kOptimized};
   std::vector<int> sizes = {100, 300, 600, 1000};
@@ -198,6 +250,25 @@ void Run(const bench::BenchEnv& env) {
   json.Value(static_cast<uint64_t>(single.Messages()));
   json.Key("broadcasts_per_sec");
   json.Value(broadcasts_per_sec);
+  json.EndObject();
+  json.Key("quality");
+  json.BeginObject();
+  json.Key("peers");
+  json.Value(reference.num_peers);
+  json.Key("deliveries");
+  json.Value(quality.deliveries);
+  json.Key("rx_frames");
+  json.Value(quality.rx_frames);
+  json.Key("delivery_latency_p50_s");
+  json.Value(quality.latency_p50);
+  json.Key("delivery_latency_p99_s");
+  json.Value(quality.latency_p99);
+  json.Key("delivery_latency_mean_s");
+  json.Value(quality.latency_mean);
+  json.Key("redundancy_ratio");
+  json.Value(quality.redundancy_ratio);
+  json.Key("max_hop");
+  json.Value(static_cast<uint64_t>(quality_max_hop));
   json.EndObject();
   json.Key("sweep");
   json.BeginObject();

@@ -35,6 +35,7 @@ net::Packet MakeGossipPacket(const Advertisement& ad) {
   net::Packet packet;
   packet.size_bytes = ad.WireSizeBytes();
   packet.payload = std::make_shared<GossipMessage>(ad);
+  packet.ad_key = ad.id.Key();
   return packet;
 }
 
@@ -43,6 +44,7 @@ net::Packet MakeFloodPacket(const Advertisement& ad, uint32_t round,
   net::Packet packet;
   packet.size_bytes = ad.WireSizeBytes() + 12;  // Round + radius fields.
   packet.payload = std::make_shared<FloodMessage>(ad, round, radius_limit);
+  packet.ad_key = ad.id.Key();
   return packet;
 }
 

@@ -44,8 +44,9 @@ StatusOr<AdId> OpportunisticGossip::Issue(const AdContent& content,
   Advertisement ad = MakeAdvertisement(content, radius_m, duration_s,
                                        options_.sketch_options);
   const AdId id = ad.id;
-  seen_.insert(id.Key());
+  seen_hop_.emplace(id.Key(), 0);  // The issuer's own copy is hop 0.
   net::Packet packet = MakeGossipPacket(ad);
+  packet.hop = RebroadcastHop(id.Key());
   InsertAd(std::move(ad), 1.0);
   // Seed the neighbourhood once; from here the network maintains the ad
   // and this issuer may go offline.
@@ -65,8 +66,10 @@ void OpportunisticGossip::OnRejoin() {
   // immediately. ForEach iterates the cache in its (deterministic)
   // internal order, same as GossipRound.
   RefreshCache();
-  cache_.ForEach([this](uint64_t /*key*/, CacheEntry& entry) {
-    Broadcast(MakeGossipPacket(entry.ad));
+  cache_.ForEach([this](uint64_t key, CacheEntry& entry) {
+    net::Packet packet = MakeGossipPacket(entry.ad);
+    packet.hop = RebroadcastHop(key);
+    Broadcast(packet);
   });
 }
 
@@ -102,7 +105,9 @@ bool OpportunisticGossip::GossipRound() {
   RefreshCache();
   cache_.ForEach([this](uint64_t key, CacheEntry& entry) {
     if (context_.rng.Bernoulli(entry.probability)) {
-      Broadcast(MakeGossipPacket(entry.ad));
+      net::Packet packet = MakeGossipPacket(entry.ad);
+      packet.hop = RebroadcastHop(key);
+      Broadcast(packet);
     } else if (context_.trace != nullptr &&
                context_.trace->Enabled(obs::kTraceSuppress)) {
       context_.trace->Suppress(Now(), context_.self, key, "bernoulli",
@@ -133,7 +138,9 @@ void OpportunisticGossip::EntryTimerFired(uint64_t key) {
   // schedule the next round for this entry.
   entry->probability = ProbabilityFor(entry->ad);
   if (context_.rng.Bernoulli(entry->probability)) {
-    Broadcast(MakeGossipPacket(entry->ad));
+    net::Packet packet = MakeGossipPacket(entry->ad);
+    packet.hop = RebroadcastHop(key);
+    Broadcast(packet);
   } else if (context_.trace != nullptr &&
              context_.trace->Enabled(obs::kTraceSuppress)) {
     context_.trace->Suppress(now, context_.self, key, "bernoulli",
@@ -141,6 +148,13 @@ void OpportunisticGossip::EntryTimerFired(uint64_t key) {
   }
   entry->next_gossip_time = now + options_.round_time_s;
   ScheduleEntry(key, entry);
+}
+
+uint32_t OpportunisticGossip::RebroadcastHop(uint64_t key) const {
+  const auto it = seen_hop_.find(key);
+  // Every cached ad was either issued or received, so the key is always
+  // present; the fallback keeps a (hypothetical) miss at hop 1.
+  return it != seen_hop_.end() ? it->second + 1 : 1;
 }
 
 CacheEntry* OpportunisticGossip::InsertAd(Advertisement ad,
@@ -174,9 +188,10 @@ void OpportunisticGossip::OnReceive(const net::Packet& packet,
   if (message == nullptr) return;  // Not a gossip frame.
 
   const uint64_t key = message->ad.id.Key();
-  const bool first_sight = seen_.insert(key).second;
+  const bool first_sight = seen_hop_.try_emplace(key, packet.hop).second;
   if (first_sight) {
     RecordReceipt(key);
+    TraceDeliver(key, packet.hop, from);
     // Display filter (UI-level, Section I): show the ad if the user has no
     // interest filter, or if it matches. Relaying below is unconditional.
     if (interests_.Size() == 0 || interests_.Matches(message->ad.content)) {

@@ -27,7 +27,7 @@
 #ifndef MADNET_CORE_OPPORTUNISTIC_GOSSIP_H_
 #define MADNET_CORE_OPPORTUNISTIC_GOSSIP_H_
 
-#include <unordered_set>
+#include <unordered_map>
 
 #include "core/ad_cache.h"
 #include "core/interest.h"
@@ -103,7 +103,7 @@ class OpportunisticGossip : public Protocol {
                        double duration_s) override;
 
   /// Crash-with-cache-loss: drops every cached ad and cancels its timer.
-  /// `seen_` survives on purpose — first-receipt metrics and the ranking
+  /// `seen_hop_` survives on purpose — first-receipt metrics and the ranking
   /// step fire once per (ad, peer) even across a crash, matching
   /// DeliveryLog's semantics.
   void OnCrash() override;
@@ -155,15 +155,22 @@ class OpportunisticGossip : public Protocol {
   /// timer bookkeeping. Returns the entry or nullptr if it lost eviction.
   CacheEntry* InsertAd(Advertisement ad, double initial_probability);
 
+  /// Hop count to stamp on an outgoing broadcast of `key`: this peer's
+  /// first-receipt hop + 1 (the issuer's own copy is hop 0, so its seed
+  /// broadcast carries hop 1). See Packet::hop / the deliver trace.
+  uint32_t RebroadcastHop(uint64_t key) const;
+
   GossipOptions options_;
   InterestProfile interests_;
   AdCache cache_;
   sim::PeriodicHandle round_timer_;
   uint64_t postpone_count_ = 0;
   uint64_t displayed_count_ = 0;
-  /// Ad keys ever seen; receipt metrics and the ranking step fire once per
-  /// ad even if it was evicted and re-received.
-  std::unordered_set<uint64_t> seen_;
+  /// Ad keys ever seen, mapped to the hop count at first receipt (0 for
+  /// ads this peer issued). Receipt metrics, the deliver trace, and the
+  /// ranking step fire once per ad even if it was evicted and
+  /// re-received; the hop value also stamps every rebroadcast.
+  std::unordered_map<uint64_t, uint32_t> seen_hop_;
 };
 
 }  // namespace madnet::core

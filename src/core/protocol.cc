@@ -34,6 +34,16 @@ void Protocol::RecordReceipt(uint64_t ad_key) {
   context_.delivery_log->RecordReceipt(ad_key, context_.self, Now());
 }
 
+void Protocol::TraceDeliver(uint64_t ad_key, uint32_t hop,
+                            net::NodeId parent) {
+  if (context_.trace == nullptr ||
+      !context_.trace->Enabled(obs::kTraceDeliver)) {
+    return;
+  }
+  context_.trace->Deliver(Now(), context_.self, ad_key, hop,
+                          context_.medium->delivering_tx_seq(), parent);
+}
+
 Advertisement Protocol::MakeAdvertisement(
     const AdContent& content, double radius_m, double duration_s,
     const sketch::FmSketchArray::Options& sketch_options) {

@@ -84,6 +84,15 @@ class Protocol {
   /// Records this node's first receipt of `ad_key` (no-op without a log).
   void RecordReceipt(uint64_t ad_key);
 
+  /// Emits one kTraceDeliver record for this node's *first* receipt of
+  /// `ad_key` (no-op without a trace sink). `hop` is the hop count of the
+  /// delivering transmission (issuer's own copy is hop 0 and never traced;
+  /// direct neighbours of the issuer deliver at hop 1), `parent` the node
+  /// whose broadcast delivered it. The transmit sequence is read from the
+  /// medium's in-flight delivery, tying the record to one tx/rx pair.
+  /// Call at most once per (node, ad), from inside OnReceive.
+  void TraceDeliver(uint64_t ad_key, uint32_t hop, net::NodeId parent);
+
   /// Builds a fresh advertisement issued by this node here and now.
   Advertisement MakeAdvertisement(
       const AdContent& content, double radius_m, double duration_s,

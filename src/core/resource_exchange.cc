@@ -27,6 +27,7 @@ StatusOr<AdId> ResourceExchange::Issue(const AdContent& content,
                                        double radius_m, double duration_s) {
   Advertisement ad = MakeAdvertisement(content, radius_m, duration_s, {});
   const AdId id = ad.id;
+  first_hop_.emplace(id.Key(), 0);  // The issuer's own copy is hop 0.
   Store(ad);
   return id;
 }
@@ -143,14 +144,21 @@ void ResourceExchange::OnEncounter(net::NodeId from) {
   }
 
   std::vector<Advertisement> batch;
+  std::vector<uint32_t> hops;
   batch.reserve(ranked.size());
+  hops.reserve(ranked.size());
   uint32_t bytes = 8;  // Batch header.
   for (const Advertisement* ad : ranked) {
     batch.push_back(*ad);
+    // Per-ad provenance: the receiver gets ads[i] one hop beyond our own
+    // first receipt of it (0 if we issued it).
+    const auto hop_it = first_hop_.find(ad->id.Key());
+    hops.push_back(hop_it != first_hop_.end() ? hop_it->second + 1 : 1);
     bytes += ad->WireSizeBytes();
   }
   net::Packet packet;
-  packet.payload = std::make_shared<ExchangeMessage>(std::move(batch));
+  packet.payload =
+      std::make_shared<ExchangeMessage>(std::move(batch), std::move(hops));
   packet.size_bytes = bytes;
   Broadcast(packet);
   ++exchanges_sent_;
@@ -165,8 +173,14 @@ void ResourceExchange::OnReceive(const net::Packet& packet,
   const auto* exchange =
       dynamic_cast<const ExchangeMessage*>(packet.payload.get());
   if (exchange == nullptr) return;  // Not ours.
-  for (const Advertisement& ad : exchange->ads) {
-    RecordReceipt(ad.id.Key());
+  for (size_t i = 0; i < exchange->ads.size(); ++i) {
+    const Advertisement& ad = exchange->ads[i];
+    const uint64_t ad_key = ad.id.Key();
+    RecordReceipt(ad_key);
+    const uint32_t hop = i < exchange->hops.size() ? exchange->hops[i] : 1;
+    if (first_hop_.try_emplace(ad_key, hop).second) {
+      TraceDeliver(ad_key, hop, from);
+    }
     Store(ad);
   }
   // Deliberately do NOT refresh the encounter clock on data frames: the

@@ -31,11 +31,16 @@ namespace madnet::core {
 /// Beacon frame used for encounter detection.
 struct BeaconMessage : net::Payload {};
 
-/// Batch frame carrying the sender's most relevant resources.
+/// Batch frame carrying the sender's most relevant resources. `hops`
+/// parallels `ads`: hops[i] is the hop count at which ads[i] arrives at
+/// the receiver (sender's first-receipt hop + 1; see Packet::hop). A
+/// frame built without hops is read as all-hop-1 (direct from issuers).
 struct ExchangeMessage : net::Payload {
-  explicit ExchangeMessage(std::vector<Advertisement> ads_in)
-      : ads(std::move(ads_in)) {}
+  explicit ExchangeMessage(std::vector<Advertisement> ads_in,
+                           std::vector<uint32_t> hops_in = {})
+      : ads(std::move(ads_in)), hops(std::move(hops_in)) {}
   std::vector<Advertisement> ads;
+  std::vector<uint32_t> hops;
 };
 
 /// The exchange-at-encounter protocol, one instance per node.
@@ -98,6 +103,11 @@ class ResourceExchange : public Protocol {
 
   Options options_;
   std::unordered_map<uint64_t, Advertisement> memory_;
+  /// Hop count at first receipt per ad key (0 for ads this node issued).
+  /// Survives OnCrash — like DeliveryLog, first-receipt bookkeeping fires
+  /// once per (ad, peer) even across a reboot — and stamps the hops
+  /// vector of outgoing exchange batches.
+  std::unordered_map<uint64_t, uint32_t> first_hop_;
   /// Last time each neighbour was heard (beacon or data).
   std::unordered_map<net::NodeId, Time> last_heard_;
   sim::PeriodicHandle beacon_timer_;

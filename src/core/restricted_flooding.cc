@@ -22,6 +22,7 @@ StatusOr<AdId> RestrictedFlooding::Issue(const AdContent& content,
   Advertisement ad = MakeAdvertisement(content, radius_m, duration_s, {});
   const AdId id = ad.id;
   const uint64_t key = id.Key();
+  first_hop_.emplace(key, 0);  // The issuer's own copy is hop 0.
   IssuingState& state = issuing_[key];
   state.ad = std::move(ad);
   // First broadcast immediately, then every round until expiry. The issuer
@@ -49,18 +50,23 @@ bool RestrictedFlooding::IssuerRound(uint64_t key) {
   ++state.round;
   // The issuer implicitly "relays" its own frame this round.
   relayed_.insert(RelayKey(key, state.round));
-  Broadcast(MakeFloodPacket(state.ad, state.round, radius_limit));
+  net::Packet packet = MakeFloodPacket(state.ad, state.round, radius_limit);
+  packet.hop = 1;  // Issuer frames deliver direct neighbours at hop 1.
+  Broadcast(packet);
   return true;
 }
 
 void RestrictedFlooding::OnReceive(const net::Packet& packet,
-                                   net::NodeId /*from*/) {
+                                   net::NodeId from) {
   const auto* message = dynamic_cast<const FloodMessage*>(packet.payload.get());
   if (message == nullptr) return;  // Not a flooding frame.
 
-  RecordReceipt(message->ad.id.Key());
+  const uint64_t ad_key = message->ad.id.Key();
+  RecordReceipt(ad_key);
+  const auto [hop_it, first_sight] = first_hop_.try_emplace(ad_key, packet.hop);
+  if (first_sight) TraceDeliver(ad_key, packet.hop, from);
 
-  const uint64_t relay_key = RelayKey(message->ad.id.Key(), message->round);
+  const uint64_t relay_key = RelayKey(ad_key, message->round);
   if (!relayed_.insert(relay_key).second) return;  // Already relayed.
 
   // Relay only while inside the issuer-declared radius limit.
@@ -69,8 +75,12 @@ void RestrictedFlooding::OnReceive(const net::Packet& packet,
 
   const double jitter =
       context_.rng.Uniform(0.0, options_.relay_jitter_max_s);
-  // Copy the packet by value; the payload is shared and immutable.
+  // Copy the packet by value; the payload is shared and immutable. The
+  // relayed frame's hop count derives from *this* node's first receipt,
+  // so every deliver record satisfies hop == parent's hop + 1 even when
+  // a later round reaches us over a shorter path.
   net::Packet copy = packet;
+  copy.hop = hop_it->second + 1;
   context_.simulator->Schedule(jitter,
                                [this, copy]() { Broadcast(copy); });
 }

@@ -56,6 +56,9 @@ class RestrictedFlooding : public Protocol {
   std::unordered_map<uint64_t, IssuingState> issuing_;
   // Relay state: (ad key, round) pairs already forwarded.
   std::unordered_set<uint64_t> relayed_;
+  // Hop count at first receipt per ad key (0 for ads this node issued);
+  // drives the deliver trace and the hop stamped on relayed frames.
+  std::unordered_map<uint64_t, uint32_t> first_hop_;
 };
 
 }  // namespace madnet::core

@@ -41,6 +41,7 @@ Aggregate RunReplicated(const ScenarioConfig& base, int replications,
         if (session != nullptr) {
           auto context =
               std::make_unique<obs::RunContext>(session->options().trace);
+          context->ArmCrashDump(config.seed);
           // Per-replication wall clock, surfaced via the manifest's
           // "replication" phase (seconds summed, count = replications).
           obs::PhaseTimer replication_timer(context.get(), "replication");

@@ -375,9 +375,14 @@ Status Medium::Broadcast(NodeId from, const Packet& packet) {
   // access plus processing.
   const Time now = simulator_->Now();
   const Vec2 origin = CachedPositionAt(from_index, now);
+  const uint64_t tx_seq = next_tx_seq_++;
   if (observer_) observer_(from, packet, origin);
   if (trace_ != nullptr && trace_->Enabled(obs::kTraceTx)) {
-    trace_->Tx(now, from, origin.x, origin.y, packet.size_bytes);
+    trace_->Tx(now, from, origin.x, origin.y, packet.size_bytes, tx_seq);
+  }
+  if (tiles_ != nullptr) {
+    // Queue depth counts this frame too (it is in flight from now on).
+    tiles_->RecordBroadcast(origin.x, origin.y, live_frames_ + 1);
   }
   // All deliveries of this broadcast share one arena frame (acquired on
   // the first scheduled delivery). Each delivery callback captures
@@ -397,6 +402,7 @@ Status Medium::Broadcast(NodeId from, const Packet& packet) {
     if (slot == kNotFound) {
       slot = AcquireFrame(packet, from, from_index);
       frame_pool_[slot].origin = origin;
+      frame_pool_[slot].tx_seq = tx_seq;
     }
     ++frame_pool_[slot].refs;
     simulator_->Schedule(latency,
@@ -411,7 +417,7 @@ void Medium::DeliverFrame(uint32_t slot, uint32_t to) {
   // Broadcast (frame_pool_ is a deque; the slot holds a ref until after
   // delivery).
   const Frame& frame = frame_pool_[slot];
-  DeliverTo(to, frame.from, frame.origin, frame.packet);
+  DeliverTo(to, frame.from, frame.origin, frame.packet, frame.tx_seq);
   ReleaseFrame(slot);
 }
 
@@ -461,9 +467,14 @@ void Medium::CsmaTransmit(uint32_t slot) {
   const NodeId from = frame.from;
   const Vec2 origin = CachedPositionAt(from_index, now);
   frame.origin = origin;
+  frame.tx_seq = next_tx_seq_++;
   if (observer_) observer_(from, frame.packet, origin);
   if (trace_ != nullptr && trace_->Enabled(obs::kTraceTx)) {
-    trace_->Tx(now, from, origin.x, origin.y, frame.packet.size_bytes);
+    trace_->Tx(now, from, origin.x, origin.y, frame.packet.size_bytes,
+               frame.tx_seq);
+  }
+  if (tiles_ != nullptr) {
+    tiles_->RecordBroadcast(origin.x, origin.y, live_frames_);
   }
 
   for (uint32_t to : NeighborIndicesOf(origin, options_.range_m)) {
@@ -517,9 +528,18 @@ void Medium::CsmaCompleteRx(uint32_t slot, uint32_t to) {
   received_[to] += 1;
   received_bytes_[to] += frame.packet.size_bytes;
   if (trace_ != nullptr && trace_->Enabled(obs::kTraceRx)) {
-    trace_->Rx(now, frame.from, ids_[to], frame.packet.size_bytes);
+    trace_->Rx(now, frame.from, ids_[to], frame.packet.size_bytes,
+               frame.packet.ad_key, frame.tx_seq);
   }
-  if (handlers_[to]) handlers_[to](frame.packet, frame.from, ids_[to]);
+  if (tiles_ != nullptr) {
+    const Vec2 at = CachedPositionAt(to, now);
+    tiles_->RecordDelivery(at.x, at.y);
+  }
+  if (handlers_[to]) {
+    delivering_tx_seq_ = frame.tx_seq;
+    handlers_[to](frame.packet, frame.from, ids_[to]);
+    delivering_tx_seq_ = 0;
+  }
   ReleaseFrame(slot);
 }
 
@@ -538,7 +558,7 @@ bool Medium::Jammed(const Vec2& position) const {
 
 // MADNET_HOT
 void Medium::DeliverTo(uint32_t to_index, NodeId from, const Vec2& origin,
-                       const Packet& packet) {
+                       const Packet& packet, uint64_t tx_seq) {
   if (!online_[to_index]) {
     // Churned/crashed away while the frame was in flight: charged here and
     // nowhere else (the radio never saw the frame, so no loss draw and no
@@ -590,9 +610,18 @@ void Medium::DeliverTo(uint32_t to_index, NodeId from, const Vec2& origin,
   received_[to_index] += 1;
   received_bytes_[to_index] += packet.size_bytes;
   if (trace_ != nullptr && trace_->Enabled(obs::kTraceRx)) {
-    trace_->Rx(now, from, ids_[to_index], packet.size_bytes);
+    trace_->Rx(now, from, ids_[to_index], packet.size_bytes, packet.ad_key,
+               tx_seq);
   }
-  if (handlers_[to_index]) handlers_[to_index](packet, from, ids_[to_index]);
+  if (tiles_ != nullptr) {
+    const Vec2 at = CachedPositionAt(to_index, now);
+    tiles_->RecordDelivery(at.x, at.y);
+  }
+  if (handlers_[to_index]) {
+    delivering_tx_seq_ = tx_seq;
+    handlers_[to_index](packet, from, ids_[to_index]);
+    delivering_tx_seq_ = 0;
+  }
 }
 
 }  // namespace madnet::net

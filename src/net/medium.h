@@ -35,6 +35,7 @@
 
 #include "mobility/mobility_model.h"
 #include "net/packet.h"
+#include "obs/tile_load.h"
 #include "obs/trace.h"
 #include "net/spatial_index.h"
 #include "sim/simulator.h"
@@ -192,6 +193,18 @@ class Medium {
   /// successful delivery. Must outlive the medium or be cleared first.
   void SetTrace(obs::Trace* trace) { trace_ = trace; }
 
+  /// Installs (or clears, with nullptr) the spatial load map recording
+  /// per-tile broadcast/delivery counts and queue depth. Must outlive the
+  /// medium or be cleared first. Purely observational: attaching one never
+  /// changes delivery order or RNG draws.
+  void SetTileLoad(obs::TileLoadMap* tiles) { tiles_ = tiles; }
+
+  /// Transmit sequence number (1-based, per medium, assigned in broadcast
+  /// order) of the frame currently being delivered to a receive handler;
+  /// 0 outside a handler. Protocols read this inside OnReceive to stamp
+  /// provenance (which transmission delivered this ad first).
+  uint64_t delivering_tx_seq() const { return delivering_tx_seq_; }
+
   /// --- Fault hooks (driven by fault::FaultInjector; see docs/FAULTS.md) ---
 
   /// Loss probability added to Options::loss_probability for the duration
@@ -237,6 +250,7 @@ class Medium {
     NodeId from = kInvalidNodeId;
     uint32_t from_index = 0;
     Vec2 origin;
+    uint64_t tx_seq = 0;  ///< Per-medium transmit sequence (1-based).
     uint32_t refs = 0;
     uint32_t next_free = 0xFFFFFFFFu;
   };
@@ -274,7 +288,7 @@ class Medium {
   /// arrives. `origin` is the sender's position at transmit time (for the
   /// fading distance).
   void DeliverTo(uint32_t to_index, NodeId from, const Vec2& origin,
-                 const Packet& packet);
+                 const Packet& packet, uint64_t tx_seq);
 
   /// Non-CSMA delivery trampoline: unpacks arena slot `slot`, delivers to
   /// `to`, and drops one frame ref.
@@ -354,11 +368,18 @@ class Medium {
   std::vector<Rect> jam_zones_;  // Active jammer rectangles (usually 0-1).
   BroadcastObserver observer_;
   obs::Trace* trace_ = nullptr;
+  obs::TileLoadMap* tiles_ = nullptr;
 
   // Frame arena (see Frame).
   std::deque<Frame> frame_pool_;
   uint32_t free_frame_ = kNotFound;
   uint32_t live_frames_ = 0;
+
+  // Provenance: transmit sequence numbers, assigned in broadcast order
+  // (1-based so 0 means "none"), and the sequence of the frame whose
+  // delivery handler is currently running.
+  uint64_t next_tx_seq_ = 1;
+  uint64_t delivering_tx_seq_ = 0;
 
   // Neighbour memo: the (time, center, radius, epoch) key the current
   // neighbor_scratch_ contents answer. The epoch counts membership

@@ -31,6 +31,14 @@ struct Payload {
 struct Packet {
   std::shared_ptr<const Payload> payload;  ///< Immutable shared body.
   uint32_t size_bytes = 0;                 ///< Modelled wire size.
+
+  // --- Provenance metadata (not wire bytes; size_bytes is unaffected) ---
+  // Protocols stamp these so the observability layer can attribute each
+  // frame to the advertisement it carries and reconstruct dissemination
+  // trees from the trace. Frames that carry no single ad (e.g. batched
+  // exchange messages) leave ad_key at 0.
+  uint64_t ad_key = 0;  ///< AdId::Key() of the carried ad, or 0.
+  uint32_t hop = 0;     ///< Hop count of this transmission (issuer = 0).
 };
 
 }  // namespace madnet::net

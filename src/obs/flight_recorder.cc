@@ -1,0 +1,204 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+
+#include "obs/flight_recorder.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <utility>
+
+#include "obs/trace.h"
+#include "util/logging.h"
+
+namespace madnet::obs {
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : ring_(capacity == 0 ? 1 : capacity) {}
+
+void FlightRecorder::Note(const FlightRecord& record) {
+  ring_[next_] = record;
+  next_ = next_ + 1 == ring_.size() ? 0 : next_ + 1;
+  ++total_;
+}
+
+size_t FlightRecorder::size() const {
+  return total_ < ring_.size() ? static_cast<size_t>(total_) : ring_.size();
+}
+
+std::vector<FlightRecord> FlightRecorder::Snapshot() const {
+  std::vector<FlightRecord> out;
+  const size_t count = size();
+  out.reserve(count);
+  // Oldest note first: when the ring has wrapped the oldest slot is next_.
+  const size_t start = total_ < ring_.size() ? 0 : next_;
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string FormatFlightRecord(const FlightRecord& record) {
+  char buf[192];
+  switch (record.category) {
+    case 0:  // Run header.
+      std::snprintf(buf, sizeof(buf),
+                    "{\"cat\":\"run\",\"seed\":%llu,\"config\":\"\"}\n",
+                    static_cast<unsigned long long>(record.a));
+      break;
+    case kTraceEvent:
+      std::snprintf(buf, sizeof(buf),
+                    "{\"cat\":\"event\",\"t\":%.9f,\"seq\":%llu}\n", record.t,
+                    static_cast<unsigned long long>(record.a));
+      break;
+    case kTraceTx:
+      std::snprintf(
+          buf, sizeof(buf),
+          "{\"cat\":\"tx\",\"t\":%.9f,\"node\":%u,\"x\":%.3f,\"y\":%.3f,"
+          "\"bytes\":%u,\"seq\":%llu}\n",
+          record.t, static_cast<uint32_t>(record.a), record.v, record.w,
+          static_cast<uint32_t>(record.b),
+          static_cast<unsigned long long>(record.c));
+      break;
+    case kTraceRx:
+      std::snprintf(buf, sizeof(buf),
+                    "{\"cat\":\"rx\",\"t\":%.9f,\"from\":%u,\"node\":%u,"
+                    "\"bytes\":%u,\"ad\":%llu,\"seq\":%llu}\n",
+                    record.t, static_cast<uint32_t>(record.a),
+                    static_cast<uint32_t>(record.b),
+                    static_cast<uint32_t>(record.v),
+                    static_cast<unsigned long long>(record.c),
+                    static_cast<unsigned long long>(record.d));
+      break;
+    case kTraceDeliver:
+      std::snprintf(buf, sizeof(buf),
+                    "{\"cat\":\"deliver\",\"t\":%.9f,\"node\":%u,\"ad\":%llu,"
+                    "\"hop\":%u,\"seq\":%llu,\"parent\":%u}\n",
+                    record.t, static_cast<uint32_t>(record.a),
+                    static_cast<unsigned long long>(record.b),
+                    static_cast<uint32_t>(record.v),
+                    static_cast<unsigned long long>(record.c),
+                    static_cast<uint32_t>(record.d));
+      break;
+    case kTraceSuppress:
+      std::snprintf(buf, sizeof(buf),
+                    "{\"cat\":\"suppress\",\"t\":%.9f,\"node\":%u,\"ad\":%llu,"
+                    "\"reason\":\"%s\",\"v\":%.9g}\n",
+                    record.t, static_cast<uint32_t>(record.a),
+                    static_cast<unsigned long long>(record.b),
+                    record.reason != nullptr ? record.reason : "", record.v);
+      break;
+    case kTraceSketch:
+      std::snprintf(buf, sizeof(buf),
+                    "{\"cat\":\"sketch\",\"t\":%.9f,\"node\":%u,\"ad\":%llu}\n",
+                    record.t, static_cast<uint32_t>(record.a),
+                    static_cast<unsigned long long>(record.b));
+      break;
+    case kTraceFault:
+      std::snprintf(buf, sizeof(buf),
+                    "{\"cat\":\"fault\",\"t\":%.9f,\"node\":%u,"
+                    "\"reason\":\"%s\",\"v\":%.9g}\n",
+                    record.t, static_cast<uint32_t>(record.a),
+                    record.reason != nullptr ? record.reason : "", record.v);
+      break;
+    default:
+      std::snprintf(buf, sizeof(buf), "{\"cat\":\"?\",\"t\":%.9f}\n",
+                    record.t);
+      break;
+  }
+  return buf;
+}
+
+std::string FlightRecorder::ToJsonl() const {
+  std::string out;
+  for (const FlightRecord& record : Snapshot()) {
+    out += FormatFlightRecord(record);
+  }
+  return out;
+}
+
+namespace {
+
+struct CrashDumpRegistry {
+  std::mutex mutex;
+  std::vector<std::pair<FlightRecorder*, uint64_t>> recorders;
+  bool hook_installed = false;
+};
+
+CrashDumpRegistry& Registry() {
+  // Intentionally leaked: the crash hook may fire during static
+  // destruction, so the registry must never be destroyed.
+  // NOLINTNEXTLINE(madnet-raw-new): leak-on-exit singleton for the crash path.
+  static CrashDumpRegistry* registry = new CrashDumpRegistry();
+  return *registry;
+}
+
+void CrashHookDump(const char* file, int line, const char* expr) {
+  char why[256];
+  std::snprintf(why, sizeof(why), "%s:%d: MADNET_DCHECK failed: %s", file,
+                line, expr);
+  const std::string path = DumpPostmortem(why);
+  if (!path.empty()) {
+    // The process is aborting inside DcheckFail; the locked Logger may be
+    // the thing that failed, so write the breadcrumb raw.
+    // NOLINTNEXTLINE(madnet-stderr): crash path, bypasses the Logger on purpose.
+    std::fprintf(stderr, "flight recorder postmortem written to %s\n",
+                 path.c_str());
+    std::fflush(stderr);
+  }
+}
+
+}  // namespace
+
+void RegisterCrashDump(FlightRecorder* recorder, uint64_t seed) {
+  if (recorder == nullptr) return;
+  CrashDumpRegistry& registry = Registry();
+  const std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.recorders.emplace_back(recorder, seed);
+  if (!registry.hook_installed) {
+    madnet::internal::SetCrashHook(&CrashHookDump);
+    registry.hook_installed = true;
+  }
+}
+
+void UnregisterCrashDump(FlightRecorder* recorder) {
+  CrashDumpRegistry& registry = Registry();
+  const std::lock_guard<std::mutex> lock(registry.mutex);
+  auto& recorders = registry.recorders;
+  for (auto it = recorders.begin(); it != recorders.end(); ++it) {
+    if (it->first == recorder) {
+      recorders.erase(it);
+      return;
+    }
+  }
+}
+
+size_t RegisteredCrashDumpCount() {
+  CrashDumpRegistry& registry = Registry();
+  const std::lock_guard<std::mutex> lock(registry.mutex);
+  return registry.recorders.size();
+}
+
+std::string DumpPostmortem(const char* why) {
+  CrashDumpRegistry& registry = Registry();
+  const std::lock_guard<std::mutex> lock(registry.mutex);
+  if (registry.recorders.empty()) return "";
+  const char* env = std::getenv("MADNET_POSTMORTEM");
+  const std::string path =
+      env != nullptr && env[0] != '\0' ? env : "madnet_postmortem.jsonl";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return "";
+  std::fprintf(file, "{\"cat\":\"postmortem\",\"reason\":\"%s\"}\n",
+               why != nullptr ? why : "");
+  for (const auto& [recorder, seed] : registry.recorders) {
+    std::fprintf(file, "{\"cat\":\"ring\",\"seed\":%llu,\"records\":%llu}\n",
+                 static_cast<unsigned long long>(seed),
+                 static_cast<unsigned long long>(recorder->size()));
+    const std::string jsonl = recorder->ToJsonl();
+    std::fwrite(jsonl.data(), 1, jsonl.size(), file);
+  }
+  std::fflush(file);
+  std::fclose(file);
+  return path;
+}
+
+}  // namespace madnet::obs

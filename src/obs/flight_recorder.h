@@ -1,0 +1,110 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+//
+// Crash flight recorder: a bounded in-memory ring of the most recent trace
+// records of one run, kept as raw POD notes (no formatting, no allocation
+// per note — appending is a couple of stores into a preallocated ring) and
+// formatted to JSONL only when dumped. Attached to a run's Trace it sees
+// *every* category, unsampled, independent of the JSONL category mask — so
+// a crashing soak run leaves behind the last few thousand things that
+// happened, even when nobody asked for a trace file.
+//
+// Postmortems: recorders register themselves in a process-wide registry
+// (RegisterCrashDump / UnregisterCrashDump — RunContext does this
+// automatically). The first registration installs a crash hook into
+// util/logging's DcheckFail, so a failed MADNET_DCHECK dumps every live
+// recorder's ring to the postmortem file before aborting. The dump is
+// best-effort by design — the process is already doomed — but under the
+// usual single-threaded-replication discipline the rings are quiescent or
+// owned by the crashing thread.
+//
+// The dump path is $MADNET_POSTMORTEM, or "madnet_postmortem.jsonl" in the
+// working directory when unset. DumpPostmortem() can also be called
+// directly, e.g. by a harness that catches a fatal Status.
+
+#ifndef MADNET_OBS_FLIGHT_RECORDER_H_
+#define MADNET_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace madnet::obs {
+
+/// One POD note in the ring. Field meaning depends on `category` (a single
+/// kTrace* bit, or 0 for the run header):
+///   run:      a=seed
+///   event:    a=seq
+///   tx:       a=node, b=bytes, c=tx_seq, v=x, w=y
+///   rx:       a=from, b=to, c=ad_key, d=tx_seq, v=bytes
+///   deliver:  a=node, b=ad_key, c=tx_seq, d=parent, v=hop
+///   suppress: a=node, b=ad_key, v=value, reason
+///   sketch:   a=node, b=ad_key
+///   fault:    a=node, v=value, reason
+struct FlightRecord {
+  uint32_t category = 0;
+  double t = 0.0;
+  uint64_t a = 0;
+  uint64_t b = 0;
+  uint64_t c = 0;
+  uint64_t d = 0;
+  double v = 0.0;
+  double w = 0.0;
+  const char* reason = nullptr;  ///< Static-storage string or null.
+};
+
+/// The bounded ring. Single-writer (the replication thread that owns the
+/// Trace it is attached to).
+class FlightRecorder {
+ public:
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  explicit FlightRecorder(size_t capacity = kDefaultCapacity);
+
+  /// Appends one note, overwriting the oldest once the ring is full.
+  void Note(const FlightRecord& record);
+
+  /// Notes retained right now (== min(total, capacity)).
+  size_t size() const;
+  size_t capacity() const { return ring_.size(); }
+  /// Notes ever appended, including overwritten ones.
+  uint64_t total() const { return total_; }
+
+  /// Retained notes, oldest first.
+  std::vector<FlightRecord> Snapshot() const;
+
+  /// Formats the retained notes, oldest first, in the exact JSONL record
+  /// shapes obs::Trace emits (so obs::ParseTraceLine reads a dump).
+  std::string ToJsonl() const;
+
+ private:
+  std::vector<FlightRecord> ring_;
+  size_t next_ = 0;        ///< Ring slot the next note lands in.
+  uint64_t total_ = 0;
+};
+
+/// Formats one note in obs::Trace's JSONL record shape (newline included).
+std::string FormatFlightRecord(const FlightRecord& record);
+
+/// Registers `recorder` (borrowed; not owned) for inclusion in crash
+/// postmortems, labelled with the run's seed. The first live registration
+/// installs the DcheckFail crash hook. Thread-safe.
+void RegisterCrashDump(FlightRecorder* recorder, uint64_t seed);
+
+/// Removes `recorder` from the postmortem registry. Call before the
+/// recorder dies. Unknown pointers are ignored. Thread-safe.
+void UnregisterCrashDump(FlightRecorder* recorder);
+
+/// Number of recorders currently registered (test hook).
+size_t RegisteredCrashDumpCount();
+
+/// Writes every registered recorder's ring to the postmortem file (see
+/// file comment for the path), prefixed with one
+/// {"cat":"postmortem","reason":…} header line per dump and one
+/// {"cat":"ring","seed":…} line per recorder. Returns the path written,
+/// or an empty string when nothing was registered or the file could not
+/// be opened. Safe to call from the crash hook.
+std::string DumpPostmortem(const char* why);
+
+}  // namespace madnet::obs
+
+#endif  // MADNET_OBS_FLIGHT_RECORDER_H_

@@ -22,17 +22,63 @@ void FixedHistogram::Observe(double value) {
   sum_ += value;
 }
 
-void FixedHistogram::MergeFrom(const FixedHistogram& other) {
+Status FixedHistogram::MergeFrom(const FixedHistogram& other) {
   if (counts_.empty()) {
     *this = other;
-    return;
+    return Status::Ok();
   }
-  MADNET_DCHECK(bounds_ == other.bounds_);  // Merge requires equal buckets.
-  for (size_t i = 0; i < counts_.size() && i < other.counts_.size(); ++i) {
+  if (other.counts_.empty()) return Status::Ok();  // Nothing to add.
+  if (bounds_ != other.bounds_) {
+    return Status::InvalidArgument(
+        "FixedHistogram::MergeFrom: mismatched bucket bounds");
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) {
     counts_[i] += other.counts_[i];
   }
   count_ += other.count_;
   sum_ += other.sum_;
+  return Status::Ok();
+}
+
+Status FixedHistogram::MergeBucketCounts(const uint64_t* counts,
+                                         size_t n_buckets, double sum) {
+  if (counts_.empty() || n_buckets != counts_.size()) {
+    return Status::InvalidArgument(
+        "FixedHistogram::MergeBucketCounts: bucket count mismatch");
+  }
+  uint64_t total = 0;
+  for (size_t i = 0; i < n_buckets; ++i) {
+    counts_[i] += counts[i];
+    total += counts[i];
+  }
+  count_ += total;
+  sum_ += sum;
+  return Status::Ok();
+}
+
+double FixedHistogram::Quantile(double q) const {
+  if (count_ == 0 || counts_.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation (1-based, interpolated).
+  const double target = q * static_cast<double>(count_);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += counts_[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    if (i >= bounds_.size()) {
+      // Overflow bucket: clamp to the largest finite edge (Prometheus
+      // behaviour); with no finite edges at all, fall back to the mean.
+      return bounds_.empty() ? Mean() : bounds_.back();
+    }
+    const double upper = bounds_[i];
+    const double lower = i == 0 ? std::min(0.0, upper) : bounds_[i - 1];
+    const double fraction =
+        (target - before) / static_cast<double>(counts_[i]);
+    return lower + (upper - lower) * std::clamp(fraction, 0.0, 1.0);
+  }
+  return bounds_.empty() ? Mean() : bounds_.back();
 }
 
 uint64_t* MetricsRegistry::Counter(const std::string& name) {
@@ -60,7 +106,15 @@ void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
     gauges_[name] = value;  // Last merged-in registry wins (seed order).
   }
   for (const auto& [name, histogram] : other.histograms_) {
-    histograms_[name].MergeFrom(histogram);
+    const Status merged = histograms_[name].MergeFrom(histogram);
+    if (!merged.ok()) {
+      // Two replications of one sweep booked the same name with different
+      // buckets — a programming error upstream. Keep this registry's
+      // buckets and say so, instead of silently misaligning the counts.
+      MADNET_LOG_ERROR("metrics merge skipped histogram '%s': %s",
+                       name.c_str(), merged.ToString().c_str());
+      MADNET_DCHECK(merged.ok());
+    }
   }
 }
 

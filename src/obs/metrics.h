@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "util/json.h"
+#include "util/status.h"
 
 namespace madnet::obs {
 
@@ -38,8 +39,29 @@ class FixedHistogram {
   /// Records one observation.
   void Observe(double value);
 
-  /// Bucket-wise sum; both histograms must share identical bounds.
-  void MergeFrom(const FixedHistogram& other);
+  /// Bucket-wise sum. Merging into a default-constructed histogram adopts
+  /// `other` wholesale; otherwise both must share identical bounds —
+  /// mismatched bounds return InvalidArgument and leave this histogram
+  /// unchanged (a silent misaligned sum would corrupt every quantile
+  /// derived from it).
+  [[nodiscard]] Status MergeFrom(const FixedHistogram& other);
+
+  /// Folds `n_buckets` pre-bucketed counts (plus the sum of the raw
+  /// observations behind them) into this histogram — for hot producers
+  /// that accumulate into a plain array and book once at the end of a run
+  /// (e.g. the simulator's dispatch-gap telemetry). `n_buckets` must equal
+  /// counts().size(), i.e. bounds().size() + 1 including the overflow
+  /// bucket; a mismatch returns InvalidArgument and changes nothing.
+  [[nodiscard]] Status MergeBucketCounts(const uint64_t* counts,
+                                         size_t n_buckets, double sum);
+
+  /// Estimates the q-quantile (q in [0, 1]) from the bucket counts by
+  /// linear interpolation inside the bucket holding the target rank, with
+  /// the first bound as each bucket's implicit lower edge floor at 0 (or
+  /// the previous bound). Observations in the overflow bucket clamp to the
+  /// last bound — like Prometheus's histogram_quantile, the estimate never
+  /// exceeds the largest finite edge. Returns 0 for an empty histogram.
+  double Quantile(double q) const;
 
   const std::vector<double>& bounds() const { return bounds_; }
   const std::vector<uint64_t>& counts() const { return counts_; }

@@ -16,8 +16,10 @@
 
 #include <chrono>
 #include <map>
+#include <memory>
 #include <string>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -33,10 +35,37 @@ struct PhaseStat {
 class RunContext {
  public:
   explicit RunContext(const TraceOptions& trace_options)
-      : trace(trace_options) {}
+      : trace(trace_options) {
+    if (trace_options.flight_recorder) {
+      flight_recorder = std::make_unique<FlightRecorder>();
+      trace.SetFlightRecorder(flight_recorder.get());
+    }
+  }
+
+  ~RunContext() {
+    if (flight_recorder != nullptr) {
+      UnregisterCrashDump(flight_recorder.get());
+    }
+  }
+
+  RunContext(const RunContext&) = delete;
+  RunContext& operator=(const RunContext&) = delete;
+
+  /// Arms the crash dump for this run's recorder (no-op when the flight
+  /// recorder is disabled). Call once the run's seed is known; the
+  /// recorder is unregistered automatically on destruction.
+  void ArmCrashDump(uint64_t seed) {
+    if (flight_recorder != nullptr) {
+      RegisterCrashDump(flight_recorder.get(), seed);
+    }
+  }
 
   Trace trace;
   MetricsRegistry metrics;
+  /// Bounded ring of recent trace records, dumped to a postmortem file on
+  /// MADNET_DCHECK failure (see obs/flight_recorder.h). Created only when
+  /// TraceOptions::flight_recorder is set; null otherwise.
+  std::unique_ptr<FlightRecorder> flight_recorder;
 
   /// Books `seconds` of real time into phase `name`.
   void AddPhase(const std::string& name, double seconds) {

@@ -1,0 +1,85 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+
+#include "obs/tile_load.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace madnet::obs {
+
+namespace {
+
+// A degenerate tile size or a huge area must not turn the dense grid into
+// an allocation bomb; 1024 tiles per side (1 MiB of TileStats at 24 B
+// each) covers every paper-scale scenario with wide margin.
+constexpr int kMaxTilesPerSide = 1024;
+
+}  // namespace
+
+TileLoadMap::TileLoadMap(double tile_m, double area_m) : tile_m_(tile_m) {
+  MADNET_DCHECK(tile_m_ > 0.0);
+  MADNET_DCHECK(area_m > 0.0);
+  if (tile_m_ <= 0.0) tile_m_ = 1.0;
+  if (area_m <= 0.0) area_m = tile_m_;
+  inv_tile_ = 1.0 / tile_m_;
+  const double tiles = std::ceil(area_m / tile_m_);
+  side_ = tiles < 1.0 ? 1
+                      : tiles > kMaxTilesPerSide
+                            ? kMaxTilesPerSide
+                            : static_cast<int>(tiles);
+  grid_.resize(static_cast<size_t>(side_) * static_cast<size_t>(side_));
+}
+
+void TileLoadMap::Summarize(MetricsRegistry* metrics) const {
+  if (metrics == nullptr) return;
+  uint64_t touched = 0;
+  uint64_t broadcasts_max = 0;
+  uint64_t deliveries_max = 0;
+  // Fixed bounds so histograms from different replications merge; tx
+  // counts per tile span a few to a few thousand in the paper-scale
+  // scenarios, queue depth is typically single digits.
+  FixedHistogram* per_tile_tx = metrics->Histogram(
+      "medium.tile.broadcasts",
+      {1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0});
+  FixedHistogram* queue_depth = metrics->Histogram(
+      "medium.tile.queue_depth", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
+  for (const TileStats& tile : grid_) {
+    if (tile.broadcasts == 0 && tile.deliveries == 0) continue;
+    ++touched;
+    if (tile.broadcasts > broadcasts_max) broadcasts_max = tile.broadcasts;
+    if (tile.deliveries > deliveries_max) deliveries_max = tile.deliveries;
+    per_tile_tx->Observe(static_cast<double>(tile.broadcasts));
+    if (tile.broadcasts > 0) {
+      queue_depth->Observe(static_cast<double>(tile.queue_depth_sum) /
+                           static_cast<double>(tile.broadcasts));
+    }
+  }
+  metrics->SetGauge("medium.tile.count", static_cast<double>(touched));
+  metrics->SetGauge("medium.tile.broadcasts_max",
+                    static_cast<double>(broadcasts_max));
+  metrics->SetGauge("medium.tile.deliveries_max",
+                    static_cast<double>(deliveries_max));
+}
+
+std::string TileLoadMap::ToJsonl() const {
+  std::string out;
+  char buf[160];
+  for (size_t i = 0; i < grid_.size(); ++i) {
+    const TileStats& tile = grid_[i];
+    if (tile.broadcasts == 0 && tile.deliveries == 0) continue;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"tx\":%d,\"ty\":%d,\"broadcasts\":%llu,"
+                  "\"deliveries\":%llu,\"qdepth_sum\":%llu}\n",
+                  static_cast<int>(i % static_cast<size_t>(side_)),
+                  static_cast<int>(i / static_cast<size_t>(side_)),
+                  static_cast<unsigned long long>(tile.broadcasts),
+                  static_cast<unsigned long long>(tile.deliveries),
+                  static_cast<unsigned long long>(tile.queue_depth_sum));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace madnet::obs

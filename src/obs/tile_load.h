@@ -1,0 +1,99 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+//
+// Spatial load telemetry: a per-run map of how broadcast traffic and
+// deliveries distribute over the plane, bucketed into fixed square tiles.
+// The medium feeds it (null-gated, one branch when absent) at every
+// transmit and delivery; Summarize() books the aggregate into a
+// MetricsRegistry at the end of a run so tile load merges deterministically
+// across replications like every other metric.
+//
+// Storage is a dense row-major grid sized to the scenario area at
+// construction: recording is two multiply/clamps and an array index (the
+// record paths run once per broadcast and once per delivery, inside the
+// medium's hot loop), and iteration order is fixed, so the JSON output and
+// booked metrics are deterministic.
+
+#ifndef MADNET_OBS_TILE_LOAD_H_
+#define MADNET_OBS_TILE_LOAD_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace madnet::obs {
+
+/// Per-tile accumulation of medium activity.
+struct TileStats {
+  uint64_t broadcasts = 0;       ///< Frames transmitted from this tile.
+  uint64_t deliveries = 0;       ///< Frames delivered to receivers here.
+  uint64_t queue_depth_sum = 0;  ///< Sum over broadcasts of in-flight
+                                 ///< frames at transmit time (divide by
+                                 ///< broadcasts for the mean depth seen
+                                 ///< from this tile).
+};
+
+/// Fixed-grid spatial load map. Single-threaded, like the medium that
+/// feeds it; one instance per replication.
+class TileLoadMap {
+ public:
+  /// `tile_m` is the square tile edge in metres (typically the radio
+  /// range, so a tile is roughly one contention domain); `area_m` the
+  /// scenario's square side. Positions outside [0, area_m) clamp to the
+  /// border tiles (mobility reflects at the borders, so only transient
+  /// float spill lands there).
+  TileLoadMap(double tile_m, double area_m);
+
+  /// Records one broadcast from position (x, y) with `queue_depth`
+  /// frames in flight (including this one).
+  void RecordBroadcast(double x, double y, uint32_t queue_depth) {
+    TileStats& tile = grid_[IndexOf(x, y)];
+    tile.broadcasts += 1;
+    tile.queue_depth_sum += queue_depth;
+  }
+
+  /// Records one successful delivery to a receiver at (x, y).
+  void RecordDelivery(double x, double y) {
+    grid_[IndexOf(x, y)].deliveries += 1;
+  }
+
+  /// Books the aggregate into `metrics`:
+  ///   medium.tile.count           (gauge)  tiles touched
+  ///   medium.tile.broadcasts_max  (gauge)  hottest tile's tx count
+  ///   medium.tile.deliveries_max  (gauge)  hottest tile's rx count
+  ///   medium.tile.broadcasts      (histogram) per-tile tx distribution
+  ///   medium.tile.queue_depth     (histogram) queue depth per broadcast
+  /// Histograms use fixed bounds so per-seed registries merge.
+  void Summarize(MetricsRegistry* metrics) const;
+
+  /// One JSON object per touched tile, row-major (ty, then tx):
+  ///   {"tx":..,"ty":..,"broadcasts":..,"deliveries":..,"qdepth_sum":..}
+  /// Each on its own line (JSONL), for the tile-load report.
+  std::string ToJsonl() const;
+
+  double tile_m() const { return tile_m_; }
+  int tiles_per_side() const { return side_; }
+  /// Row-major grid, tiles_per_side() squared entries (tile (tx, ty) at
+  /// index ty * tiles_per_side() + tx).
+  const std::vector<TileStats>& grid() const { return grid_; }
+
+ private:
+  size_t IndexOf(double x, double y) const {
+    // Truncation (not floor) is fine: anything negative clamps to 0.
+    const int tx = std::clamp(static_cast<int>(x * inv_tile_), 0, side_ - 1);
+    const int ty = std::clamp(static_cast<int>(y * inv_tile_), 0, side_ - 1);
+    return static_cast<size_t>(ty) * static_cast<size_t>(side_) +
+           static_cast<size_t>(tx);
+  }
+
+  double tile_m_;
+  double inv_tile_;
+  int side_;
+  std::vector<TileStats> grid_;
+};
+
+}  // namespace madnet::obs
+
+#endif  // MADNET_OBS_TILE_LOAD_H_

@@ -116,6 +116,14 @@ struct Cursor {
       uint64_t value = 0;
       ok = cursor.ConsumeUint(&value);
       event->bytes = static_cast<uint32_t>(value);
+    } else if (key == "hop") {
+      uint64_t value = 0;
+      ok = cursor.ConsumeUint(&value);
+      event->hop = static_cast<uint32_t>(value);
+    } else if (key == "parent") {
+      uint64_t value = 0;
+      ok = cursor.ConsumeUint(&value);
+      event->parent = static_cast<uint32_t>(value);
     } else {
       // Unknown key: skip its (string or number) value so the format can
       // grow fields without breaking old readers.
@@ -128,8 +136,9 @@ struct Cursor {
   }
   if (!cursor.rest.empty()) return Malformed(line);
   if (event->cat != "run" && event->cat != "event" && event->cat != "tx" &&
-      event->cat != "rx" && event->cat != "suppress" &&
-      event->cat != "sketch" && event->cat != "fault") {
+      event->cat != "rx" && event->cat != "deliver" &&
+      event->cat != "suppress" && event->cat != "sketch" &&
+      event->cat != "fault") {
     return Status::InvalidArgument("unknown trace category: " + event->cat);
   }
   return Status::Ok();

@@ -20,16 +20,19 @@ namespace madnet::obs {
 /// One parsed trace record. Only the fields present on the line are set;
 /// everything else keeps its default. `cat` is always set on success.
 struct TraceEvent {
-  std::string cat;      ///< "run", "event", "tx", "rx", "suppress",
-                        ///< "sketch", "fault".
+  std::string cat;      ///< "run", "event", "tx", "rx", "deliver",
+                        ///< "suppress", "sketch", "fault".
   double t = 0.0;       ///< Virtual sim time (absent on "run" records).
-  uint64_t seq = 0;     ///< Event sequence number ("event").
+  uint64_t seq = 0;     ///< Event sequence number ("event") or transmit
+                        ///< sequence ("tx"/"rx"/"deliver").
   uint32_t node = 0;    ///< Acting / receiving node index.
   uint32_t from = 0;    ///< Sender index ("rx").
   double x = 0.0;       ///< Transmitter position ("tx").
   double y = 0.0;
   uint32_t bytes = 0;   ///< Packet size ("tx"/"rx").
-  uint64_t ad = 0;      ///< Ad key ("suppress"/"sketch").
+  uint64_t ad = 0;      ///< Ad key ("rx"/"deliver"/"suppress"/"sketch").
+  uint32_t hop = 0;     ///< Hop count at first receipt ("deliver").
+  uint32_t parent = 0;  ///< Node whose broadcast delivered ("deliver").
   double v = 0.0;       ///< Reason-specific value ("suppress").
   uint64_t seed = 0;    ///< Replication seed ("run").
   std::string config;   ///< Config hash hex ("run").

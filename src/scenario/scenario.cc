@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <iterator>
+#include <vector>
 
 #include "core/opportunistic_gossip.h"
 #include "core/restricted_flooding.h"
@@ -63,6 +65,16 @@ Scenario::Scenario(const ScenarioConfig& config, obs::RunContext* obs)
                          obs::HashHex(SaveConfigText(config_)));
     simulator_.SetTrace(&obs_->trace);
     medium_->SetTrace(&obs_->trace);
+    // Spatial load telemetry: one tile per radio range, so each tile is
+    // one interference neighbourhood and the tile-load report reads as a
+    // congestion map. Summarized into the registry by CaptureMetrics.
+    tiles_ = std::make_unique<obs::TileLoadMap>(config_.medium.range_m,
+                                                config_.area_size_m);
+    medium_->SetTileLoad(tiles_.get());
+    // Inter-event virtual-time gaps: a spike at 0 means event storms, a
+    // heavy right tail means the calendar queue idles between bursts.
+    // The simulator buckets them inline; CaptureMetrics books the counts.
+    simulator_.EnableDispatchGapTelemetry();
   }
 
   const int node_count = config_.num_peers + 1;  // Peers plus the issuer.
@@ -110,10 +122,24 @@ Scenario::Scenario(const ScenarioConfig& config, obs::RunContext* obs)
                      issuer_id() + static_cast<net::NodeId>(config_.num_peers),
                      std::move(hooks));
     }
+    if (obs_ != nullptr && obs_->flight_recorder == nullptr) {
+      // Fault runs get a postmortem ring even when the session did not ask
+      // for one: a crash under injected faults is exactly when the last few
+      // hundred records matter. Recorder-only capture never gates on the
+      // text mask, so the trace text stays byte-identical either way.
+      recorder_ = std::make_unique<obs::FlightRecorder>();
+      obs_->trace.SetFlightRecorder(recorder_.get());
+      obs::RegisterCrashDump(recorder_.get(), config_.seed);
+    }
   }
 }
 
-Scenario::~Scenario() = default;
+Scenario::~Scenario() {
+  if (recorder_ != nullptr) {
+    obs::UnregisterCrashDump(recorder_.get());
+    obs_->trace.SetFlightRecorder(nullptr);
+  }
+}
 
 std::unique_ptr<mobility::MobilityModel> MakePeerMobility(
     const ScenarioConfig& config, Rng rng) {
@@ -298,6 +324,20 @@ void Scenario::CaptureMetrics(const RunResult& result) {
   metrics.SetGauge("scenario.final_rank", result.final_rank);
   metrics.SetGauge("scenario.final_radius_m", result.final_radius_m);
   metrics.SetGauge("scenario.final_duration_s", result.final_duration_s);
+  if (simulator_.dispatch_gap_telemetry_enabled()) {
+    // The simulator bucketed the gaps inline (hot path); fold its counts
+    // into a registry histogram with matching bounds here, once per run.
+    obs::FixedHistogram* gaps = metrics.Histogram(
+        "sim.dispatch_gap_s",
+        std::vector<double>(std::begin(sim::Simulator::kDispatchGapBounds),
+                            std::end(sim::Simulator::kDispatchGapBounds)));
+    const Status booked = gaps->MergeBucketCounts(
+        simulator_.dispatch_gap_counts(), sim::Simulator::kDispatchGapBuckets,
+        simulator_.dispatch_gap_sum());
+    MADNET_DCHECK(booked.ok());
+    (void)booked;
+  }
+  if (tiles_ != nullptr) tiles_->Summarize(&metrics);
 }
 
 mobility::TraceSet Scenario::RecordTraces(sim::Time horizon) {

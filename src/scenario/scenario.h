@@ -15,7 +15,9 @@
 #include "mobility/mobility_model.h"
 #include "mobility/trace_io.h"
 #include "net/medium.h"
+#include "obs/flight_recorder.h"
 #include "obs/run_context.h"
+#include "obs/tile_load.h"
 #include "scenario/config.h"
 #include "sim/simulator.h"
 #include "stats/delivery.h"
@@ -123,6 +125,13 @@ class Scenario {
   /// Expands config_.fault into simulator events; null when the plan is
   /// disabled (the run is then byte-identical to a pre-fault-layer one).
   std::unique_ptr<fault::FaultInjector> injector_;
+  /// Per-tile broadcast/delivery/queue-depth counters (observed runs only;
+  /// tile edge = the radio range, so a tile is one interference
+  /// neighbourhood). Summarized into obs_->metrics by CaptureMetrics.
+  std::unique_ptr<obs::TileLoadMap> tiles_;
+  /// Postmortem ring auto-attached for observed fault runs when the
+  /// session did not install one (see ctor); detached in the dtor.
+  std::unique_ptr<obs::FlightRecorder> recorder_;
   uint64_t issued_ad_key_ = 0;
   bool ran_ = false;
 };

@@ -64,6 +64,15 @@ bool Simulator::Step() {
   if (queue_.Empty()) return false;
   auto [when, callback] = queue_.Pop();
   assert(when >= now_ && "event queue went backwards in time");
+  if (record_dispatch_gaps_) {
+    const double gap = when - now_;
+    size_t bucket = 0;
+    while (bucket + 1 < kDispatchGapBuckets && kDispatchGapBounds[bucket] < gap) {
+      ++bucket;
+    }
+    ++dispatch_gap_counts_[bucket];
+    dispatch_gap_sum_ += gap;
+  }
   now_ = when;
   ++executed_;
   if (trace_ != nullptr && trace_->Enabled(obs::kTraceEvent)) {
@@ -90,6 +99,8 @@ void Simulator::Reset() {
   queue_.Clear();
   now_ = 0.0;
   executed_ = 0;
+  for (size_t i = 0; i < kDispatchGapBuckets; ++i) dispatch_gap_counts_[i] = 0;
+  dispatch_gap_sum_ = 0.0;
 }
 
 }  // namespace madnet::sim

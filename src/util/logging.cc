@@ -62,11 +62,24 @@ ScopedLogClock::~ScopedLogClock() { t_log_clock = previous_; }
 
 namespace internal {
 
+namespace {
+std::atomic<CrashHook> g_crash_hook{nullptr};
+// Guards against a DCHECK failing *inside* the crash hook: the second
+// failure must fall straight through to abort() instead of recursing.
+std::atomic<bool> g_crash_hook_running{false};
+}  // namespace
+
+void SetCrashHook(CrashHook hook) { g_crash_hook.store(hook); }
+
 void DcheckFail(const char* file, int line, const char* expr) {
   // Unbuffered direct write: the process is about to abort, so the message
   // must not sit in a stdio buffer.
   std::fprintf(stderr, "%s:%d: MADNET_DCHECK failed: %s\n", file, line, expr);
   std::fflush(stderr);
+  const CrashHook hook = g_crash_hook.load();
+  if (hook != nullptr && !g_crash_hook_running.exchange(true)) {
+    hook(file, line, expr);
+  }
   std::abort();
 }
 

@@ -54,8 +54,19 @@ class ScopedLogClock {
 namespace internal {
 
 /// Reports a failed MADNET_DCHECK ("file:line: MADNET_DCHECK failed: expr")
-/// to stderr and aborts the process. Never returns.
+/// to stderr, runs the crash hook (if any), and aborts the process. Never
+/// returns.
 [[noreturn]] void DcheckFail(const char* file, int line, const char* expr);
+
+/// Last-gasp callback invoked by DcheckFail after printing the failure and
+/// before abort(). util cannot depend on higher layers, so the hook is a
+/// plain function pointer; obs installs one that dumps registered flight-
+/// recorder rings to the postmortem file (see obs/flight_recorder.h).
+/// Re-entrant failures inside the hook skip straight to abort().
+using CrashHook = void (*)(const char* file, int line, const char* expr);
+
+/// Installs (or clears, with nullptr) the process-wide crash hook.
+void SetCrashHook(CrashHook hook);
 
 }  // namespace internal
 }  // namespace madnet

@@ -1,0 +1,183 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+//
+// Flight recorder: ring wrap and snapshot order, the JSONL dump format
+// (byte-compatible with obs::Trace so one reader handles both), the
+// recorder-through-Trace plumbing (every category captured with no effect
+// on the text stream), the crash-dump registry, and — where MADNET_DCHECK
+// is active — the end-to-end postmortem: a DCHECK failure writes the
+// registered rings to $MADNET_POSTMORTEM before aborting.
+
+#include "obs/flight_recorder.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.h"
+#include "obs/trace_reader.h"
+#include "util/logging.h"
+
+namespace madnet::obs {
+namespace {
+
+FlightRecord EventNote(uint64_t seq) {
+  FlightRecord note;
+  note.category = kTraceEvent;
+  note.t = static_cast<double>(seq);
+  note.a = seq;
+  return note;
+}
+
+TEST(FlightRecorderTest, RingWrapsKeepingTheNewestNotes) {
+  FlightRecorder recorder(4);
+  EXPECT_EQ(recorder.capacity(), 4u);
+  EXPECT_EQ(recorder.size(), 0u);
+  for (uint64_t seq = 0; seq < 6; ++seq) recorder.Note(EventNote(seq));
+  EXPECT_EQ(recorder.size(), 4u);
+  EXPECT_EQ(recorder.total(), 6u);
+  const auto notes = recorder.Snapshot();
+  ASSERT_EQ(notes.size(), 4u);
+  // Oldest first: 0 and 1 were overwritten.
+  for (uint64_t i = 0; i < 4; ++i) EXPECT_EQ(notes[i].a, i + 2);
+}
+
+TEST(FlightRecorderTest, SnapshotBeforeWrapPreservesInsertionOrder) {
+  FlightRecorder recorder(8);
+  for (uint64_t seq = 0; seq < 3; ++seq) recorder.Note(EventNote(seq));
+  const auto notes = recorder.Snapshot();
+  ASSERT_EQ(notes.size(), 3u);
+  for (uint64_t i = 0; i < 3; ++i) EXPECT_EQ(notes[i].a, i);
+}
+
+TEST(FlightRecorderTest, DumpMatchesTraceBytesForEveryCategory) {
+  // The recorder's format IS the trace format: attach a recorder to a
+  // fully-enabled trace, emit one record of every kind, and the ring dump
+  // must be byte-identical to the text stream. (POD notes don't retain the
+  // run config string, so the header uses an empty config here.)
+  TraceOptions options;
+  options.categories = kTraceAll;
+  Trace trace(options);
+  FlightRecorder recorder;
+  trace.SetFlightRecorder(&recorder);
+  trace.BeginRun(7, "");
+  trace.Event(12.5, 3021);
+  trace.Tx(1.0, 5, 1234.5678, 99.0, 64, 11);
+  trace.Rx(2.25, 5, 9, 64, 123456789, 11);
+  trace.Deliver(2.25, 9, 123456789, 2, 11, 5);
+  trace.Suppress(3.0, 5, 123456789, "bernoulli", 0.25);
+  trace.SketchMerge(4.0, 5, 123456789);
+  trace.Fault(5.0, 9, "crash", 1.0);
+  EXPECT_EQ(recorder.ToJsonl(), trace.text());
+  EXPECT_EQ(recorder.total(), 8u);
+}
+
+TEST(FlightRecorderTest, RecorderOnlyCaptureLeavesTextAndSamplingAlone) {
+  TraceOptions options;
+  options.categories = 0;  // Nobody asked for a trace file.
+  Trace trace(options);
+  FlightRecorder recorder;
+  trace.SetFlightRecorder(&recorder);
+  // Call sites gate on Enabled(): with a recorder attached every category
+  // reports enabled so the emitters run...
+  EXPECT_TRUE(trace.Enabled(kTraceDeliver));
+  EXPECT_TRUE(trace.Enabled(kTraceEvent));
+  trace.Event(1.0, 1);
+  trace.Deliver(2.0, 9, 42, 1, 1, 3);
+  // ...but the text stream and its sampling counters stay untouched, so
+  // attaching a recorder can never change flushed trace bytes.
+  EXPECT_TRUE(trace.text().empty());
+  EXPECT_EQ(trace.records_kept(), 0u);
+  EXPECT_EQ(trace.records_sampled_out(), 0u);
+  EXPECT_EQ(recorder.total(), 2u);
+  // Detach: categories go quiet again.
+  trace.SetFlightRecorder(nullptr);
+  EXPECT_FALSE(trace.Enabled(kTraceDeliver));
+  trace.Event(3.0, 2);
+  EXPECT_EQ(recorder.total(), 2u);
+}
+
+TEST(FlightRecorderTest, DumpedRecordsParseWithTheTraceReader) {
+  FlightRecorder recorder;
+  FlightRecord deliver;
+  deliver.category = kTraceDeliver;
+  deliver.t = 2.25;
+  deliver.a = 9;           // node
+  deliver.b = 123456789;   // ad_key
+  deliver.c = 11;          // tx_seq
+  deliver.d = 5;           // parent
+  deliver.v = 2;           // hop
+  recorder.Note(deliver);
+  std::istringstream lines(recorder.ToJsonl());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  TraceEvent event;
+  ASSERT_TRUE(ParseTraceLine(line, &event).ok()) << line;
+  EXPECT_EQ(event.cat, "deliver");
+  EXPECT_EQ(event.node, 9u);
+  EXPECT_EQ(event.ad, 123456789u);
+  EXPECT_EQ(event.hop, 2u);
+  EXPECT_EQ(event.seq, 11u);
+  EXPECT_EQ(event.parent, 5u);
+}
+
+TEST(FlightRecorderTest, RegistryTracksAndDumpsRecorders) {
+  const std::string path = testing::TempDir() + "postmortem_direct.jsonl";
+  ASSERT_EQ(setenv("MADNET_POSTMORTEM", path.c_str(), 1), 0);
+  const size_t before = RegisteredCrashDumpCount();
+  {
+    FlightRecorder recorder;
+    recorder.Note(EventNote(41));
+    RegisterCrashDump(&recorder, /*seed=*/77);
+    EXPECT_EQ(RegisteredCrashDumpCount(), before + 1);
+    const std::string written = DumpPostmortem("unit-test");
+    EXPECT_EQ(written, path);
+    UnregisterCrashDump(&recorder);
+  }
+  EXPECT_EQ(RegisteredCrashDumpCount(), before);
+  std::ifstream in(path);
+  std::ostringstream dumped;
+  dumped << in.rdbuf();
+  const std::string text = dumped.str();
+  EXPECT_NE(text.find("\"cat\":\"postmortem\""), std::string::npos) << text;
+  EXPECT_NE(text.find("unit-test"), std::string::npos);
+  EXPECT_NE(text.find("\"seed\":77"), std::string::npos);
+  EXPECT_NE(text.find("\"cat\":\"event\""), std::string::npos);
+  unsetenv("MADNET_POSTMORTEM");
+  std::remove(path.c_str());
+  // With nothing registered, a dump is a no-op reporting no path.
+  EXPECT_EQ(DumpPostmortem("empty"), "");
+}
+
+#if MADNET_DCHECK_ASSERTS
+TEST(FlightRecorderDeathTest, DcheckFailureWritesThePostmortem) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::string path = testing::TempDir() + "postmortem_crash.jsonl";
+  std::remove(path.c_str());
+  // The crash happens in the death-test child; the file outlives it.
+  EXPECT_DEATH(
+      {
+        setenv("MADNET_POSTMORTEM", path.c_str(), 1);
+        static FlightRecorder recorder;  // Outlives the aborting scope.
+        recorder.Note(EventNote(9));
+        RegisterCrashDump(&recorder, /*seed=*/123);
+        MADNET_DCHECK(1 == 2);
+      },
+      "MADNET_DCHECK failed");
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open()) << "postmortem file missing: " << path;
+  std::ostringstream dumped;
+  dumped << in.rdbuf();
+  const std::string text = dumped.str();
+  EXPECT_NE(text.find("\"cat\":\"postmortem\""), std::string::npos) << text;
+  EXPECT_NE(text.find("\"seed\":123"), std::string::npos);
+  EXPECT_NE(text.find("\"cat\":\"event\""), std::string::npos);
+  std::remove(path.c_str());
+}
+#endif  // MADNET_DCHECK_ASSERTS
+
+}  // namespace
+}  // namespace madnet::obs

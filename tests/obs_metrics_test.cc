@@ -48,12 +48,60 @@ TEST(FixedHistogramTest, MergeSumsBucketwise) {
   b.Observe(0.5);
   b.Observe(1.5);
   b.Observe(99.0);
-  a.MergeFrom(b);
+  ASSERT_TRUE(a.MergeFrom(b).ok());
   EXPECT_EQ(a.counts()[0], 2u);
   EXPECT_EQ(a.counts()[1], 1u);
   EXPECT_EQ(a.counts()[2], 1u);
   EXPECT_EQ(a.count(), 4u);
   EXPECT_DOUBLE_EQ(a.sum(), 0.5 + 0.5 + 1.5 + 99.0);
+}
+
+TEST(FixedHistogramTest, MergeRejectsMismatchedBoundsUnchanged) {
+  FixedHistogram a({1.0, 2.0});
+  FixedHistogram b({1.0, 3.0});
+  a.Observe(0.5);
+  b.Observe(2.5);
+  const Status merged = a.MergeFrom(b);
+  EXPECT_FALSE(merged.ok());
+  // The failed merge left the destination untouched.
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.counts()[0], 1u);
+  EXPECT_EQ(a.counts()[1], 0u);
+  EXPECT_DOUBLE_EQ(a.sum(), 0.5);
+}
+
+TEST(FixedHistogramTest, MergeIntoEmptyAdoptsOtherBounds) {
+  FixedHistogram empty;
+  FixedHistogram b({1.0, 2.0});
+  b.Observe(1.5);
+  ASSERT_TRUE(empty.MergeFrom(b).ok());
+  ASSERT_EQ(empty.bounds().size(), 2u);
+  EXPECT_EQ(empty.count(), 1u);
+  // And merging an empty histogram into a populated one is a no-op.
+  FixedHistogram none;
+  ASSERT_TRUE(b.MergeFrom(none).ok());
+  EXPECT_EQ(b.count(), 1u);
+}
+
+TEST(FixedHistogramTest, QuantileInterpolatesWithinBucket) {
+  FixedHistogram h({10.0, 20.0, 30.0});
+  for (int i = 0; i < 10; ++i) h.Observe(5.0);    // bucket [0, 10]
+  for (int i = 0; i < 10; ++i) h.Observe(15.0);   // bucket (10, 20]
+  // Median rank 10 sits exactly at the edge of the first bucket.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 10.0);
+  // 0.75 -> rank 15, halfway through the second bucket -> 15.0.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.75), 15.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 20.0);
+}
+
+TEST(FixedHistogramTest, QuantileClampsOverflowToLastBound) {
+  FixedHistogram h({10.0});
+  h.Observe(1000.0);  // Overflow bucket only.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 10.0);
+  FixedHistogram empty({10.0});
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.5), 0.0);
 }
 
 TEST(MetricsRegistryTest, CounterHandleIsStableAndAccumulates) {

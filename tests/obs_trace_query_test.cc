@@ -1,0 +1,236 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+//
+// DisseminationForest: reconstructs a fixture dissemination tree exactly
+// (edges, hops, origin time, redundancy) and rejects every provenance
+// invariant violation the deliver schema documents. The same checker backs
+// madnet_tracequery, madnet_tracestat --validate, and bench/throughput's
+// quality section, so these fixtures are the contract.
+
+#include "obs/trace_query.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace_reader.h"
+
+namespace madnet::obs {
+namespace {
+
+// AdId::Key() layout: issuer << 32 | sequence.
+constexpr uint32_t kIssuer = 3;
+constexpr uint64_t kAd = (static_cast<uint64_t>(kIssuer) << 32) | 1u;
+
+TraceEvent RunHeader(uint64_t seed) {
+  TraceEvent event;
+  event.cat = "run";
+  event.seed = seed;
+  return event;
+}
+
+TraceEvent Tx(double t, uint32_t node, uint64_t seq) {
+  TraceEvent event;
+  event.cat = "tx";
+  event.t = t;
+  event.node = node;
+  event.seq = seq;
+  return event;
+}
+
+TraceEvent Rx(double t, uint32_t from, uint32_t node, uint64_t ad,
+              uint64_t seq) {
+  TraceEvent event;
+  event.cat = "rx";
+  event.t = t;
+  event.from = from;
+  event.node = node;
+  event.ad = ad;
+  event.seq = seq;
+  return event;
+}
+
+TraceEvent Deliver(double t, uint32_t node, uint64_t ad, uint32_t hop,
+                   uint64_t seq, uint32_t parent) {
+  TraceEvent event;
+  event.cat = "deliver";
+  event.t = t;
+  event.node = node;
+  event.ad = ad;
+  event.hop = hop;
+  event.seq = seq;
+  event.parent = parent;
+  return event;
+}
+
+/// The canonical fixture: issuer 3 seeds at t=10 (tx seq 1), node 7 gets
+/// it at hop 1, relays (tx seq 2), node 8 gets it at hop 2; node 7 later
+/// hears a redundant copy. 3 ad-carrying frames, 2 unique deliveries.
+DisseminationForest FixtureForest() {
+  DisseminationForest forest;
+  EXPECT_TRUE(forest.Add(RunHeader(5)).ok());
+  EXPECT_TRUE(forest.Add(Tx(10.0, kIssuer, 1)).ok());
+  EXPECT_TRUE(forest.Add(Rx(10.001, kIssuer, 7, kAd, 1)).ok());
+  EXPECT_TRUE(forest.Add(Deliver(10.001, 7, kAd, 1, 1, kIssuer)).ok());
+  EXPECT_TRUE(forest.Add(Tx(12.0, 7, 2)).ok());
+  EXPECT_TRUE(forest.Add(Rx(12.002, 7, 8, kAd, 2)).ok());
+  EXPECT_TRUE(forest.Add(Deliver(12.002, 8, kAd, 2, 2, 7)).ok());
+  // Duplicate receipt at node 7 (no second deliver): pure redundancy.
+  EXPECT_TRUE(forest.Add(Rx(12.002, 8, 7, kAd, 2)).ok());
+  return forest;
+}
+
+TEST(DisseminationForestTest, ReconstructsTheFixtureTreeExactly) {
+  const DisseminationForest forest = FixtureForest();
+  ASSERT_EQ(forest.runs().size(), 1u);
+  const RunForest& run = forest.runs()[0];
+  EXPECT_EQ(run.seed, 5u);
+  ASSERT_EQ(run.ads.size(), 1u);
+  const AdTree& tree = run.ads.at(kAd);
+  EXPECT_EQ(tree.ad_key, kAd);
+  EXPECT_EQ(tree.issuer, kIssuer);
+  EXPECT_EQ(tree.max_hop, 2u);
+  EXPECT_EQ(tree.rx_frames, 3u);
+  // Origin resolved through the hop-1 deliver's tx_seq: absolute latency.
+  EXPECT_TRUE(tree.has_origin_tx);
+  EXPECT_DOUBLE_EQ(tree.origin_t, 10.0);
+  ASSERT_EQ(tree.deliveries.size(), 2u);
+  EXPECT_EQ(tree.deliveries[0].node, 7u);
+  EXPECT_EQ(tree.deliveries[0].parent, kIssuer);
+  EXPECT_EQ(tree.deliveries[0].hop, 1u);
+  EXPECT_EQ(tree.deliveries[1].node, 8u);
+  EXPECT_EQ(tree.deliveries[1].parent, 7u);
+  EXPECT_EQ(tree.deliveries[1].hop, 2u);
+  ASSERT_NE(tree.FindDelivery(8), nullptr);
+  EXPECT_EQ(tree.FindDelivery(8)->tx_seq, 2u);
+  EXPECT_EQ(tree.FindDelivery(42), nullptr);
+}
+
+TEST(DisseminationForestTest, SummarizesLatencyHopsAndRedundancy) {
+  const ForestStats stats = FixtureForest().Summarize();
+  EXPECT_EQ(stats.runs, 1u);
+  EXPECT_EQ(stats.ads, 1u);
+  EXPECT_EQ(stats.deliveries, 2u);
+  EXPECT_EQ(stats.rx_frames, 3u);
+  // Latencies from the tx origin: {0.001, 2.002}. Nearest-rank quantiles.
+  // NEAR, not EQ: the latencies come from t - origin_t subtractions.
+  EXPECT_NEAR(stats.latency_p50, 0.001, 1e-12);
+  EXPECT_NEAR(stats.latency_p99, 2.002, 1e-12);
+  EXPECT_NEAR(stats.latency_mean, (0.001 + 2.002) / 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.redundancy_ratio, 1.5);
+  ASSERT_EQ(stats.hop_histogram.size(), 2u);
+  EXPECT_EQ(stats.hop_histogram.at(1), 1u);
+  EXPECT_EQ(stats.hop_histogram.at(2), 1u);
+}
+
+TEST(DisseminationForestTest, FallsBackToRelativeLatencyWithoutTx) {
+  DisseminationForest forest;
+  ASSERT_TRUE(forest.Add(RunHeader(1)).ok());
+  ASSERT_TRUE(forest.Add(Deliver(4.0, 7, kAd, 1, 99, kIssuer)).ok());
+  ASSERT_TRUE(forest.Add(Deliver(5.5, 8, kAd, 2, 100, 7)).ok());
+  const AdTree& tree = forest.runs()[0].ads.at(kAd);
+  EXPECT_FALSE(tree.has_origin_tx);
+  EXPECT_DOUBLE_EQ(tree.origin_t, 4.0);  // First deliver anchors t=0.
+  const ForestStats stats = forest.Summarize();
+  EXPECT_DOUBLE_EQ(stats.latency_p50, 0.0);
+  EXPECT_DOUBLE_EQ(stats.latency_p99, 1.5);
+}
+
+TEST(DisseminationForestTest, RunHeadersScopeStateAcrossReplications) {
+  DisseminationForest forest;
+  ASSERT_TRUE(forest.Add(RunHeader(1)).ok());
+  ASSERT_TRUE(forest.Add(Tx(10.0, kIssuer, 1)).ok());
+  ASSERT_TRUE(forest.Add(Deliver(10.5, 7, kAd, 1, 1, kIssuer)).ok());
+  ASSERT_TRUE(forest.Add(RunHeader(2)).ok());
+  // Same node/ad/seq as run 1: legal again (fresh scope), and tx seq 1
+  // from run 1 must not leak in as this run's origin.
+  ASSERT_TRUE(forest.Add(Deliver(20.5, 7, kAd, 1, 1, kIssuer)).ok());
+  ASSERT_EQ(forest.runs().size(), 2u);
+  EXPECT_TRUE(forest.runs()[0].ads.at(kAd).has_origin_tx);
+  EXPECT_FALSE(forest.runs()[1].ads.at(kAd).has_origin_tx);
+  EXPECT_DOUBLE_EQ(forest.runs()[1].ads.at(kAd).origin_t, 20.5);
+}
+
+TEST(DisseminationForestTest, RejectsRecordsBeforeTheRunHeader) {
+  DisseminationForest forest;
+  EXPECT_FALSE(forest.Add(Deliver(1.0, 7, kAd, 1, 1, kIssuer)).ok());
+  EXPECT_FALSE(forest.Add(Tx(1.0, kIssuer, 1)).ok());
+  EXPECT_FALSE(forest.Add(Rx(1.0, 3, 7, kAd, 1)).ok());
+  // Non-provenance categories pass through untouched.
+  TraceEvent other;
+  other.cat = "event";
+  EXPECT_TRUE(forest.Add(other).ok());
+}
+
+TEST(DisseminationForestTest, RejectsEachProvenanceViolation) {
+  DisseminationForest forest;
+  ASSERT_TRUE(forest.Add(RunHeader(1)).ok());
+  ASSERT_TRUE(forest.Add(Deliver(1.0, 7, kAd, 1, 1, kIssuer)).ok());
+
+  // Missing ad key / zero hop.
+  EXPECT_FALSE(forest.Add(Deliver(2.0, 8, 0, 1, 1, kIssuer)).ok());
+  EXPECT_FALSE(forest.Add(Deliver(2.0, 8, kAd, 0, 1, kIssuer)).ok());
+  // Delivery back to the issuer.
+  EXPECT_FALSE(forest.Add(Deliver(2.0, kIssuer, kAd, 2, 2, 7)).ok());
+  // Node 7 already has this ad.
+  EXPECT_FALSE(forest.Add(Deliver(2.0, 7, kAd, 2, 2, 7)).ok());
+  // Direct from the issuer but hop != 1.
+  EXPECT_FALSE(forest.Add(Deliver(2.0, 8, kAd, 2, 2, kIssuer)).ok());
+  // Parent 9 never delivered (parent-before-child).
+  EXPECT_FALSE(forest.Add(Deliver(2.0, 8, kAd, 2, 2, 9)).ok());
+  // Parent 7 delivered at hop 1, so hop must be 2, not 3.
+  EXPECT_FALSE(forest.Add(Deliver(2.0, 8, kAd, 3, 2, 7)).ok());
+
+  // Failed records were not applied: the tree still has one delivery, and
+  // the legal version of the last record is accepted afterwards.
+  EXPECT_EQ(forest.runs()[0].ads.at(kAd).deliveries.size(), 1u);
+  EXPECT_TRUE(forest.Add(Deliver(2.0, 8, kAd, 2, 2, 7)).ok());
+}
+
+TEST(DisseminationForestTest, AddFileParsesAndReportsLineNumbers) {
+  const std::string good_path = testing::TempDir() + "forest_good.jsonl";
+  {
+    std::ofstream out(good_path, std::ios::trunc);
+    out << "{\"cat\":\"run\",\"seed\":5,\"config\":\"abcd\"}\n"
+        << "{\"cat\":\"tx\",\"t\":10.000000000,\"node\":3,\"x\":0.000,"
+           "\"y\":0.000,\"bytes\":64,\"seq\":1}\n"
+        << "{\"cat\":\"deliver\",\"t\":10.001000000,\"node\":7,\"ad\":"
+        << kAd << ",\"hop\":1,\"seq\":1,\"parent\":3}\n";
+  }
+  DisseminationForest good;
+  ASSERT_TRUE(good.AddFile(good_path).ok());
+  EXPECT_TRUE(good.runs()[0].ads.at(kAd).has_origin_tx);
+
+  const std::string bad_path = testing::TempDir() + "forest_bad.jsonl";
+  {
+    std::ofstream out(bad_path, std::ios::trunc);
+    out << "{\"cat\":\"run\",\"seed\":5,\"config\":\"abcd\"}\n"
+        << "{\"cat\":\"deliver\",\"t\":1.000000000,\"node\":7,\"ad\":"
+        << kAd << ",\"hop\":2,\"seq\":1,\"parent\":3}\n";  // hop!=1.
+  }
+  DisseminationForest bad;
+  const Status status = bad.AddFile(bad_path);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find(":2:"), std::string::npos) << status.ToString();
+
+  DisseminationForest missing;
+  EXPECT_FALSE(missing.AddFile(testing::TempDir() + "no_such.jsonl").ok());
+  std::remove(good_path.c_str());
+  std::remove(bad_path.c_str());
+}
+
+TEST(DisseminationForestTest, ReportJsonCarriesTreesAndSummary) {
+  const std::string report = FixtureForest().ReportJson();
+  EXPECT_NE(report.find("\"seed\":5"), std::string::npos);
+  EXPECT_NE(report.find("\"issuer\":3"), std::string::npos);
+  EXPECT_NE(report.find("\"deliveries\":2"), std::string::npos);
+  EXPECT_NE(report.find("\"origin_from_tx\":true"), std::string::npos);
+  EXPECT_NE(report.find("\"redundancy_ratio\":1.5"), std::string::npos);
+  // Coverage-over-time milestones and the hop distribution.
+  EXPECT_NE(report.find("\"t90\""), std::string::npos);
+  EXPECT_NE(report.find("\"hops\":{\"1\":1,\"2\":1}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace madnet::obs

@@ -23,6 +23,7 @@ TEST(TraceCategoriesTest, ParsesNamesAndCombinations) {
   EXPECT_EQ(*ParseTraceCategories(" event , sketch "),
             kTraceEvent | kTraceSketch);
   EXPECT_EQ(*ParseTraceCategories("suppress"), kTraceSuppress);
+  EXPECT_EQ(*ParseTraceCategories("deliver"), kTraceDeliver);
   EXPECT_EQ(*ParseTraceCategories(""), 0u);
 }
 
@@ -38,6 +39,8 @@ TEST(TraceCategoriesTest, NamesMatchRecordCatFields) {
   EXPECT_STREQ(TraceCategoryName(kTraceRx), "rx");
   EXPECT_STREQ(TraceCategoryName(kTraceSuppress), "suppress");
   EXPECT_STREQ(TraceCategoryName(kTraceSketch), "sketch");
+  EXPECT_STREQ(TraceCategoryName(kTraceFault), "fault");
+  EXPECT_STREQ(TraceCategoryName(kTraceDeliver), "deliver");
 }
 
 TEST(TraceTest, EmitsExactRecordBytes) {
@@ -49,22 +52,25 @@ TEST(TraceTest, EmitsExactRecordBytes) {
   Trace trace(options);
   trace.BeginRun(7, "00f00ba400f00ba4");
   trace.Event(12.5, 3021);
-  trace.Tx(1.0, 5, 1234.5678, 99.0, 64);
-  trace.Rx(2.25, 5, 9, 64);
+  trace.Tx(1.0, 5, 1234.5678, 99.0, 64, 11);
+  trace.Rx(2.25, 5, 9, 64, 123456789, 11);
+  trace.Deliver(2.25, 9, 123456789, 2, 11, 5);
   trace.Suppress(3.0, 5, 123456789, "bernoulli", 0.25);
   trace.SketchMerge(4.0, 5, 123456789);
   EXPECT_EQ(trace.text(),
             "{\"cat\":\"run\",\"seed\":7,\"config\":\"00f00ba400f00ba4\"}\n"
             "{\"cat\":\"event\",\"t\":12.500000000,\"seq\":3021}\n"
             "{\"cat\":\"tx\",\"t\":1.000000000,\"node\":5,\"x\":1234.568,"
-            "\"y\":99.000,\"bytes\":64}\n"
+            "\"y\":99.000,\"bytes\":64,\"seq\":11}\n"
             "{\"cat\":\"rx\",\"t\":2.250000000,\"from\":5,\"node\":9,"
-            "\"bytes\":64}\n"
+            "\"bytes\":64,\"ad\":123456789,\"seq\":11}\n"
+            "{\"cat\":\"deliver\",\"t\":2.250000000,\"node\":9,"
+            "\"ad\":123456789,\"hop\":2,\"seq\":11,\"parent\":5}\n"
             "{\"cat\":\"suppress\",\"t\":3.000000000,\"node\":5,"
             "\"ad\":123456789,\"reason\":\"bernoulli\",\"v\":0.25}\n"
             "{\"cat\":\"sketch\",\"t\":4.000000000,\"node\":5,"
             "\"ad\":123456789}\n");
-  EXPECT_EQ(trace.records_kept(), 6u);
+  EXPECT_EQ(trace.records_kept(), 7u);
   EXPECT_EQ(trace.records_sampled_out(), 0u);
 }
 
@@ -73,11 +79,12 @@ TEST(TraceTest, DisabledCategoriesEmitNothing) {
   options.categories = kTraceTx;  // Only tx requested.
   Trace trace(options);
   trace.Event(1.0, 1);
-  trace.Rx(1.0, 1, 2, 8);
+  trace.Rx(1.0, 1, 2, 8, 0, 1);
+  trace.Deliver(1.0, 2, 1, 1, 1, 1);
   trace.Suppress(1.0, 1, 1, "postpone", 2.0);
   trace.SketchMerge(1.0, 1, 1);
   EXPECT_TRUE(trace.text().empty());
-  trace.Tx(1.0, 1, 0.0, 0.0, 8);
+  trace.Tx(1.0, 1, 0.0, 0.0, 8, 1);
   EXPECT_EQ(trace.records_kept(), 1u);
   EXPECT_FALSE(trace.Enabled(kTraceEvent));
   EXPECT_TRUE(trace.Enabled(kTraceTx));
@@ -92,7 +99,7 @@ TEST(TraceTest, SamplingKeepsEveryNthRecordPerCategory) {
   for (int i = 0; i < 9; ++i) trace.Event(static_cast<double>(i), i);
   // Each category has its own counter: the first rx is kept even though
   // the event stream is mid-period.
-  trace.Rx(0.5, 1, 2, 8);
+  trace.Rx(0.5, 1, 2, 8, 42, 7);
   EXPECT_EQ(trace.records_kept(), 4u);          // 3 events + 1 rx.
   EXPECT_EQ(trace.records_sampled_out(), 6u);   // 6 events dropped.
   EXPECT_EQ(trace.text(),
@@ -100,7 +107,7 @@ TEST(TraceTest, SamplingKeepsEveryNthRecordPerCategory) {
             "{\"cat\":\"event\",\"t\":3.000000000,\"seq\":3}\n"
             "{\"cat\":\"event\",\"t\":6.000000000,\"seq\":6}\n"
             "{\"cat\":\"rx\",\"t\":0.500000000,\"from\":1,\"node\":2,"
-            "\"bytes\":8}\n");
+            "\"bytes\":8,\"ad\":42,\"seq\":7}\n");
 }
 
 // --------------------------------------------------------------------------
@@ -114,8 +121,9 @@ TEST(TraceReaderTest, RoundTripsEveryRecordKind) {
   const uint64_t big_ad = 0xfedcba9876543210ull;
   trace.BeginRun(18446744073709551615ull, "0123456789abcdef");
   trace.Event(12.5, 3021);
-  trace.Tx(1.0, 5, 1234.5678, 99.0, 64);
-  trace.Rx(2.25, 5, 9, 64);
+  trace.Tx(1.0, 5, 1234.5678, 99.0, 64, 17);
+  trace.Rx(2.25, 5, 9, 64, big_ad, 17);
+  trace.Deliver(2.25, 9, big_ad, 3, 17, 5);
   trace.Suppress(3.0, 5, big_ad, "postpone", 1.5);
   trace.SketchMerge(4.0, 5, big_ad);
 
@@ -132,7 +140,7 @@ TEST(TraceReaderTest, RoundTripsEveryRecordKind) {
     events.push_back(event);
     start = end + 1;
   }
-  ASSERT_EQ(events.size(), 6u);
+  ASSERT_EQ(events.size(), 7u);
   EXPECT_EQ(events[0].cat, "run");
   EXPECT_EQ(events[0].seed, 18446744073709551615ull);
   EXPECT_EQ(events[0].config, "0123456789abcdef");
@@ -143,15 +151,24 @@ TEST(TraceReaderTest, RoundTripsEveryRecordKind) {
   EXPECT_EQ(events[2].node, 5u);
   EXPECT_DOUBLE_EQ(events[2].x, 1234.568);
   EXPECT_EQ(events[2].bytes, 64u);
+  EXPECT_EQ(events[2].seq, 17u);
   EXPECT_EQ(events[3].cat, "rx");
   EXPECT_EQ(events[3].from, 5u);
   EXPECT_EQ(events[3].node, 9u);
-  EXPECT_EQ(events[4].cat, "suppress");
+  EXPECT_EQ(events[3].ad, big_ad);
+  EXPECT_EQ(events[3].seq, 17u);
+  EXPECT_EQ(events[4].cat, "deliver");
+  EXPECT_EQ(events[4].node, 9u);
   EXPECT_EQ(events[4].ad, big_ad);
-  EXPECT_EQ(events[4].reason, "postpone");
-  EXPECT_DOUBLE_EQ(events[4].v, 1.5);
-  EXPECT_EQ(events[5].cat, "sketch");
+  EXPECT_EQ(events[4].hop, 3u);
+  EXPECT_EQ(events[4].seq, 17u);
+  EXPECT_EQ(events[4].parent, 5u);
+  EXPECT_EQ(events[5].cat, "suppress");
   EXPECT_EQ(events[5].ad, big_ad);
+  EXPECT_EQ(events[5].reason, "postpone");
+  EXPECT_DOUBLE_EQ(events[5].v, 1.5);
+  EXPECT_EQ(events[6].cat, "sketch");
+  EXPECT_EQ(events[6].ad, big_ad);
 }
 
 TEST(TraceReaderTest, AcceptsTrailingNewlineAndCrLf) {

@@ -14,9 +14,11 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/flight_recorder.h"
 #include "obs/manifest.h"
 #include "obs/run_context.h"
 #include "obs/session.h"
+#include "obs/trace_query.h"
 #include "obs/trace_reader.h"
 #include "exec/replication.h"
 #include "scenario/scenario.h"
@@ -188,6 +190,85 @@ TEST(ScenarioObsTest, ContextCapturesMetricsAndPhases) {
   EXPECT_EQ(context.phases().at("event_loop").count, 1u);
   EXPECT_EQ(context.phases().at("aggregate").count, 1u);
   EXPECT_GE(context.PhaseSeconds("event_loop"), 0.0);
+}
+
+TEST(ScenarioObsTest, DeliverTraceReconstructsADisseminationForest) {
+  // End-to-end provenance: a real replicated sweep's flushed trace must
+  // satisfy every deliver invariant (non-zero hop, parent-before-child,
+  // hop monotonicity, no duplicate deliveries) that DisseminationForest
+  // enforces, and reconstruct one tree per run.
+  const ScenarioConfig config = SmallConfig();
+  const std::string path = testing::TempDir() + "obs_trace_forest.jsonl";
+  const std::string bytes = SweepTraceBytes(config, 3, /*jobs=*/2, path);
+  ASSERT_NE(bytes.find("\"cat\":\"deliver\""), std::string::npos);
+  obs::DisseminationForest forest;
+  const Status status = forest.AddFile(path);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  ASSERT_EQ(forest.runs().size(), 3u);
+  const obs::ForestStats stats = forest.Summarize();
+  EXPECT_EQ(stats.runs, 3u);
+  EXPECT_EQ(stats.ads, 3u);  // One advertisement per replication.
+  EXPECT_GT(stats.deliveries, 0u);
+  // The medium reported the delivering frame, so rx coverage is at least
+  // the deliveries and latencies are anchored at the issuer's seed tx.
+  EXPECT_GE(stats.rx_frames, stats.deliveries);
+  EXPECT_GE(stats.redundancy_ratio, 1.0);
+  EXPECT_GT(stats.latency_p50, 0.0);
+  EXPECT_GE(stats.latency_p99, stats.latency_p50);
+  for (const obs::RunForest& run : forest.runs()) {
+    for (const auto& [ad_key, tree] : run.ads) {
+      EXPECT_EQ(tree.issuer, static_cast<uint32_t>(ad_key >> 32));
+      EXPECT_TRUE(tree.has_origin_tx) << "seed tx not found for ad";
+      EXPECT_GE(tree.max_hop, 1u);
+    }
+  }
+}
+
+TEST(ScenarioObsTest, TileLoadAndDispatchGapMetricsAreBooked) {
+  const ScenarioConfig config = SmallConfig();
+  obs::TraceOptions trace_options;
+  trace_options.categories = obs::kTraceTx;
+  obs::RunContext context{trace_options};
+  const RunResult result = RunScenario(config, &context);
+  ASSERT_GT(result.net.deliveries, 0u);
+  // Spatial load: every broadcast and delivery landed in some tile.
+  EXPECT_GE(context.metrics.gauges().at("medium.tile.count"), 1.0);
+  EXPECT_GE(context.metrics.gauges().at("medium.tile.broadcasts_max"), 1.0);
+  const auto& histograms = context.metrics.histograms();
+  ASSERT_EQ(histograms.count("medium.tile.broadcasts"), 1u);
+  EXPECT_GT(histograms.at("medium.tile.broadcasts").count(), 0u);
+  ASSERT_EQ(histograms.count("medium.tile.queue_depth"), 1u);
+  // Dispatch-gap telemetry: one observation per executed event.
+  ASSERT_EQ(histograms.count("sim.dispatch_gap_s"), 1u);
+  EXPECT_EQ(histograms.at("sim.dispatch_gap_s").count(),
+            result.events_executed);
+}
+
+TEST(ScenarioObsTest, FlightRecorderCapturesARunWithoutChangingIt) {
+  const ScenarioConfig config = SmallConfig();
+  const RunResult plain = RunScenario(config);
+  obs::TraceOptions trace_options;  // No text categories requested.
+  trace_options.flight_recorder = true;
+  obs::RunContext context{trace_options};
+  ASSERT_NE(context.flight_recorder, nullptr);
+  const RunResult observed = RunScenario(config, &context);
+  // Recorder-only capture: the ring saw the run, the text stream did not,
+  // and the simulation is bit-for-bit unchanged.
+  EXPECT_GT(context.flight_recorder->total(), 0u);
+  EXPECT_TRUE(context.trace.text().empty());
+  EXPECT_EQ(observed.events_executed, plain.events_executed);
+  EXPECT_EQ(observed.net.messages_sent, plain.net.messages_sent);
+  EXPECT_EQ(observed.net.deliveries, plain.net.deliveries);
+  // The ring's dump parses with the standard reader.
+  std::istringstream dump(context.flight_recorder->ToJsonl());
+  std::string line;
+  uint64_t parsed = 0;
+  while (std::getline(dump, line)) {
+    obs::TraceEvent event;
+    ASSERT_TRUE(obs::ParseTraceLine(line, &event).ok()) << line;
+    ++parsed;
+  }
+  EXPECT_EQ(parsed, context.flight_recorder->size());
 }
 
 TEST(ScenarioObsTest, SamplingShrinksTheTraceDeterministically) {

@@ -7,8 +7,11 @@
 //   madnet_tracestat --validate trace.jsonl  # schema + invariant check
 //
 // --validate exits non-zero on the first of: a malformed line, an unknown
-// category, a record before any "run" header, or virtual time running
-// backwards within a run chunk. CI pipes a bench's --trace output through
+// category, a record before any "run" header, virtual time running
+// backwards within a run chunk, a "deliver" record with fields out of
+// documented order, or a deliver violating the provenance invariants
+// (parent-before-child, hop == parent hop + 1; checked by
+// obs::DisseminationForest). CI pipes a bench's --trace output through
 // this to keep the emitters and the documented schema honest.
 
 #include <cstdio>
@@ -19,6 +22,7 @@
 #include <vector>
 
 #include "obs/trace.h"
+#include "obs/trace_query.h"
 #include "obs/trace_reader.h"
 #include "util/flags.h"
 
@@ -36,6 +40,23 @@ struct RunSummary {
   bool saw_timed_record = false;
 };
 
+/// True iff the documented deliver field order holds on the raw line:
+/// cat, t, node, ad, hop, seq, parent (docs/OBSERVABILITY.md). The parser
+/// is order-agnostic by design, so schema drift in the emitter would
+/// otherwise go unnoticed.
+bool DeliverFieldsOrdered(const std::string& line) {
+  static const char* kKeys[] = {"\"cat\"",  "\"t\"",   "\"node\"",
+                                "\"ad\"",   "\"hop\"", "\"seq\"",
+                                "\"parent\""};
+  size_t position = 0;
+  for (const char* key : kKeys) {
+    const size_t at = line.find(key, position);
+    if (at == std::string::npos) return false;
+    position = at + 1;
+  }
+  return true;
+}
+
 int Run(const std::string& path, bool validate) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
@@ -45,6 +66,7 @@ int Run(const std::string& path, bool validate) {
 
   std::map<std::string, uint64_t> per_category;
   std::vector<RunSummary> runs;
+  obs::DisseminationForest forest;  // Provenance invariants (--validate).
   uint64_t line_number = 0;
   std::string line;
   TraceEvent event;
@@ -59,6 +81,23 @@ int Run(const std::string& path, bool validate) {
       return 1;
     }
     per_category[event.cat] += 1;
+    if (validate) {
+      if (event.cat == "deliver" && !DeliverFieldsOrdered(line)) {
+        std::fprintf(stderr,
+                     "error: %s:%llu: deliver fields out of documented "
+                     "order (want cat,t,node,ad,hop,seq,parent)\n",
+                     path.c_str(),
+                     static_cast<unsigned long long>(line_number));
+        return 1;
+      }
+      const Status provenance = forest.Add(event);
+      if (!provenance.ok()) {
+        std::fprintf(stderr, "error: %s:%llu: %s\n", path.c_str(),
+                     static_cast<unsigned long long>(line_number),
+                     provenance.ToString().c_str());
+        return 1;
+      }
+    }
     if (event.cat == "run") {
       runs.push_back({event.seed, event.config, 0, 0.0, 0.0, false});
       continue;
