@@ -37,12 +37,17 @@ enum class Method {
 const char* MethodName(Method method);
 
 /// Which mobility model the peers follow. The paper evaluates Random
-/// Waypoint; the other two are extensions (urban streets, and waypoints
-/// biased towards attraction points such as the issuing shop).
+/// Waypoint; the others are extensions (urban streets, waypoints biased
+/// towards attraction points such as the issuing shop, and straight-line
+/// vehicular motion along a highway strip).
 enum class Mobility {
   kRandomWaypoint,
   kManhattanGrid,
   kHotspot,
+  /// Constant-velocity lanes: each peer keeps a fixed y (its lane) and
+  /// drives along x at its drawn speed, reflecting at the arena walls —
+  /// the vehicular highway-strip regime of the scenario corpus.
+  kHighway,
 };
 
 /// Human-readable mobility model name.
@@ -114,7 +119,11 @@ struct ScenarioConfig {
   static ScenarioConfig PaperDefaults();
 
   /// Checks cross-field consistency (positive sizes, speed bounds, medium
-  /// max speed covering mobility speeds, ...).
+  /// max speed covering mobility speeds, fault geometry inside the arena,
+  /// ...). Every rejection names the offending config-file key(s), the bad
+  /// value, and the accepted range, so a config error is actionable before
+  /// any simulator state exists — see docs/scenario_schema.md for the full
+  /// contract.
   [[nodiscard]] Status Validate() const;
 };
 

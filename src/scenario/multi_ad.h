@@ -10,6 +10,7 @@
 #ifndef MADNET_SCENARIO_MULTI_AD_H_
 #define MADNET_SCENARIO_MULTI_AD_H_
 
+#include <string>
 #include <vector>
 
 #include "scenario/config.h"
@@ -34,7 +35,19 @@ struct MultiAdConfig {
   /// border (so the advertising circle stays mostly inside).
   double border_margin_m = 600.0;
 
-  /// Cross-field validation.
+  /// Marketplace mode: when > 0, ads are issued from this many fixed stall
+  /// locations instead of one fresh location per ad, and each ad picks its
+  /// stall with Zipf weight 1/(rank+1)^zipf_s — a few popular stalls issue
+  /// most of the ads (Zipf ad demand). 0 keeps the one-location-per-ad
+  /// behaviour.
+  int num_stalls = 0;
+  /// Stall popularity skew s >= 0; 0 = uniform demand across stalls.
+  double zipf_s = 1.0;
+
+  /// Cross-field validation with key-named diagnostics, mirroring
+  /// ScenarioConfig::Validate(). Fault plans are rejected here: the
+  /// multi-ad harness does not build a FaultInjector, so a plan would be
+  /// silently ignored.
   [[nodiscard]] Status Validate() const;
 };
 
@@ -59,6 +72,40 @@ struct MultiAdResult {
 /// Builds, runs and reports a multi-ad scenario. Node ids: issuers are
 /// 0..num_ads-1 (stationary at their ad's location), peers follow.
 MultiAdResult RunMultiAdScenario(const MultiAdConfig& config);
+
+// --- Multi-ad config files -------------------------------------------------
+//
+// A config file is multi-ad iff it uses at least one of the keys below;
+// every single-ad key applies to the embedded `base`. See
+// docs/scenario_schema.md ("Multi-ad keys").
+
+/// True iff `key` is one of the multi-ad keys (ads, first_issue,
+/// issue_spacing, ad_radius, ad_duration, border_margin, stalls, zipf).
+bool IsMultiAdKey(const std::string& key);
+
+/// Applies one assignment: multi-ad keys to `config`, everything else to
+/// `config->base` via ApplyConfigKey. Same fail-fast diagnostics.
+[[nodiscard]]
+Status ApplyMultiAdConfigKey(const std::string& key, const std::string& value,
+                             MultiAdConfig* config);
+
+/// Loads a multi-ad config file on top of `*config`; validated before
+/// returning, like LoadConfigFile.
+[[nodiscard]]
+Status LoadMultiAdConfigFile(const std::string& path, MultiAdConfig* config);
+
+/// Serializes a multi-ad config (base keys + multi-ad keys); round-trips.
+std::string SaveMultiAdConfigText(const MultiAdConfig& config);
+
+/// Loads a scenario file of either kind: the file is multi-ad iff any of
+/// its keys IsMultiAdKey. On success `*is_multi_ad` says which loader ran
+/// and `out` holds the result (`out->base` alone is meaningful for
+/// single-ad files). This is what `madnet_run --validate-only` and the
+/// corpus smoke tests call, so every file under scenarios/ goes through
+/// one sniffing contract.
+[[nodiscard]]
+Status LoadScenarioFileAuto(const std::string& path, MultiAdConfig* out,
+                            bool* is_multi_ad);
 
 }  // namespace madnet::scenario
 

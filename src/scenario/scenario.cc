@@ -178,6 +178,16 @@ std::unique_ptr<mobility::MobilityModel> MakePeerMobility(
       }
       return std::make_unique<mobility::HotspotWaypoint>(options, rng);
     }
+    case Mobility::kHighway: {
+      // Vehicular strip: a fixed lane (the start y) and a constant speed
+      // along x, reflecting at the arena walls. Draw order (position,
+      // speed, direction) is part of the determinism contract.
+      const Vec2 start = rng.UniformInRect(area);
+      const double speed = rng.Uniform(min_speed, max_speed);
+      const double direction = rng.Uniform(0.0, 1.0) < 0.5 ? -1.0 : 1.0;
+      return std::make_unique<mobility::ConstantVelocity>(
+          area, start, Vec2{direction * speed, 0.0});
+    }
     case Mobility::kRandomWaypoint:
       break;
   }

@@ -143,9 +143,9 @@ RunResult RunScenario(const ScenarioConfig& config);
 RunResult RunScenario(const ScenarioConfig& config, obs::RunContext* obs);
 
 /// Builds one mobile peer's mobility model per `config.mobility` (Random
-/// Waypoint / Manhattan grid / hotspot waypoint, with the speed, pause and
-/// model-specific fields of `config`). Used by both the single-ad Scenario
-/// and the multi-ad harness.
+/// Waypoint / Manhattan grid / hotspot waypoint / constant-velocity highway
+/// lanes, with the speed, pause and model-specific fields of `config`).
+/// Used by both the single-ad Scenario and the multi-ad harness.
 std::unique_ptr<mobility::MobilityModel> MakePeerMobility(
     const ScenarioConfig& config, Rng rng);
 

@@ -52,7 +52,9 @@ bool StartsWith(std::string_view text, std::string_view prefix) {
   errno = 0;
   char* end = nullptr;
   const double value = std::strtod(owned.c_str(), &end);
-  if (errno == ERANGE) return Status::OutOfRange("number out of range");
+  if (errno == ERANGE) {
+    return Status::OutOfRange("number out of range: '" + owned + "'");
+  }
   if (end != owned.c_str() + owned.size()) {
     return Status::InvalidArgument("not a number: '" + owned + "'");
   }
@@ -65,7 +67,9 @@ bool StartsWith(std::string_view text, std::string_view prefix) {
   errno = 0;
   char* end = nullptr;
   const long long value = std::strtoll(owned.c_str(), &end, 10);
-  if (errno == ERANGE) return Status::OutOfRange("integer out of range");
+  if (errno == ERANGE) {
+    return Status::OutOfRange("integer out of range: '" + owned + "'");
+  }
   if (end != owned.c_str() + owned.size()) {
     return Status::InvalidArgument("not an integer: '" + owned + "'");
   }

@@ -196,6 +196,209 @@ TEST_F(ConfigIoTest, FaultPlanSaveLoadRoundTrip) {
   EXPECT_FALSE(quiet_loaded.fault.Enabled());
 }
 
+TEST_F(ConfigIoTest, EverySavedKeyRoundTripsIdentically) {
+  // Serializer identity: writing, re-parsing and re-writing a config with
+  // every serialized key moved off its default must reproduce the exact
+  // same text. This pins the save order against the two order-sensitive
+  // keys ('area' recenters issue_x/issue_y; 'speed'/'speed_delta'
+  // auto-raise 'max_speed').
+  ScenarioConfig original;
+  original.method = Method::kOptimized1;
+  original.mobility = Mobility::kHighway;
+  original.num_peers = 77;
+  original.area_size_m = 4000.0;
+  original.issue_location = {300.0, 3900.0};  // Off-centre: not area/2.
+  original.initial_radius_m = 800.0;
+  original.initial_duration_s = 500.0;
+  original.sim_time_s = 1500.0;
+  original.issue_time_s = 45.0;
+  original.mean_speed_mps = 20.0;
+  original.speed_delta_mps = 8.0;
+  original.medium.max_speed_mps = 90.0;  // Explicit slack above speed+delta.
+  original.min_pause_s = 2.0;
+  original.max_pause_s = 40.0;
+  original.manhattan_block_m = 350.0;
+  original.hotspot_probability = 0.7;
+  original.hotspot_sigma_m = 120.0;
+  original.hotspot_extra = 3;
+  original.gossip.round_time_s = 4.0;
+  original.flooding.round_time_s = 4.0;
+  original.gossip.propagation.alpha = 0.35;
+  original.gossip.propagation.beta = 0.65;
+  original.flooding.propagation = original.gossip.propagation;
+  original.gossip.dis_m = 150.0;
+  original.gossip.cache_capacity = 25;
+  original.medium.range_m = 300.0;
+  original.medium.loss_probability = 0.05;
+  original.medium.fading_exponent = 2.0;
+  original.medium.enable_collisions = true;
+  original.medium.csma = true;
+  original.issuer_goes_offline = true;
+  original.fault.churn_rate = 0.1;
+  original.fault.churn_start_s = 20.0;
+  original.seed = 7;
+  ASSERT_TRUE(original.Validate().ok());
+
+  const std::string first = SaveConfigText(original);
+  WriteFile(first);
+  ScenarioConfig loaded;
+  ASSERT_TRUE(LoadConfigFile(path_, &loaded).ok());
+  EXPECT_EQ(SaveConfigText(loaded), first);
+  // Spot-check the order-sensitive fields survived verbatim.
+  EXPECT_EQ(loaded.issue_location, original.issue_location);
+  EXPECT_DOUBLE_EQ(loaded.medium.max_speed_mps, 90.0);
+  EXPECT_EQ(loaded.mobility, Mobility::kHighway);
+  EXPECT_EQ(loaded.hotspot_extra, 3);
+}
+
+TEST_F(ConfigIoTest, SpeedKeysAutoRaiseMaxSpeed) {
+  WriteFile("speed = 40\nspeed_delta = 10\n");
+  ScenarioConfig config;
+  ASSERT_TRUE(LoadConfigFile(path_, &config).ok());
+  // No explicit max_speed, yet the staleness slack covers the fastest peer.
+  EXPECT_GE(config.medium.max_speed_mps, 50.0);
+}
+
+TEST_F(ConfigIoTest, TrailingGarbageNamesKeyAndToken) {
+  WriteFile("range = 250m\n");
+  ScenarioConfig config;
+  Status status = LoadConfigFile(path_, &config);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("key 'range'"), std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("250m"), std::string::npos)
+      << status.message();
+}
+
+TEST_F(ConfigIoTest, EmptyValueNamesKey) {
+  WriteFile("peers =\n");
+  ScenarioConfig config;
+  Status status = LoadConfigFile(path_, &config);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("key 'peers'"), std::string::npos)
+      << status.message();
+}
+
+TEST_F(ConfigIoTest, OverflowNamesOffendingToken) {
+  WriteFile("radius = 1e999\n");
+  ScenarioConfig config;
+  Status status = LoadConfigFile(path_, &config);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("key 'radius'"), std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("1e999"), std::string::npos)
+      << status.message();
+}
+
+TEST_F(ConfigIoTest, NegativeCacheRejectedBeforeSizeTWrap) {
+  // Regression: "cache = -5" used to wrap through the size_t cast into a
+  // huge accepted capacity; now it is rejected at parse time.
+  WriteFile("cache = -5\n");
+  ScenarioConfig config;
+  Status status = LoadConfigFile(path_, &config);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("key 'cache'"), std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("non-negative"), std::string::npos)
+      << status.message();
+}
+
+TEST_F(ConfigIoTest, ZeroPeersRejectedNamingBothKeys) {
+  // Regression: peers = 0 used to run with an empty delivery audience.
+  WriteFile("peers = 0\n");
+  ScenarioConfig config;
+  Status status = LoadConfigFile(path_, &config);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("key 'peers'"), std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("issuer_offline"), std::string::npos)
+      << status.message();
+}
+
+TEST_F(ConfigIoTest, OffArenaIssuerRejected) {
+  WriteFile("area = 5000\nissue_x = 9000\n");
+  ScenarioConfig config;
+  Status status = LoadConfigFile(path_, &config);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("issue_x"), std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("key 'area'"), std::string::npos)
+      << status.message();
+}
+
+TEST_F(ConfigIoTest, OffArenaJammerRejected) {
+  // Regression: an outage rectangle outside the arena jams nothing and
+  // used to be silently accepted.
+  WriteFile(
+      "area = 1000\n"
+      "outage_x0 = 900\n"
+      "outage_y0 = 900\n"
+      "outage_x1 = 1400\n"
+      "outage_y1 = 1400\n"
+      "outage_start = 10\n"
+      "outage_end = 50\n");
+  ScenarioConfig config;
+  Status status = LoadConfigFile(path_, &config);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("outage"), std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("inside the arena"), std::string::npos)
+      << status.message();
+}
+
+TEST_F(ConfigIoTest, FaultEpisodeAfterSimEndRejected) {
+  WriteFile(
+      "sim_time = 100\n"
+      "churn_rate = 0.2\n"
+      "churn_start = 500\n");
+  ScenarioConfig config;
+  Status status = LoadConfigFile(path_, &config);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("churn_start"), std::string::npos)
+      << status.message();
+}
+
+TEST_F(ConfigIoTest, HotspotSigmaPlacementBandChecked) {
+  // Regression: 2*sigma >= area inverts the extra-centre placement rect.
+  WriteFile(
+      "mobility = hotspot\n"
+      "area = 1000\n"
+      "hotspot_extra = 2\n"
+      "hotspot_sigma = 600\n");
+  ScenarioConfig config;
+  Status status = LoadConfigFile(path_, &config);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("hotspot_sigma"), std::string::npos)
+      << status.message();
+}
+
+TEST_F(ConfigIoTest, ExplicitMaxSpeedBelowFastestPeerRejected) {
+  WriteFile("speed = 10\nspeed_delta = 5\nmax_speed = 12\n");
+  ScenarioConfig config;
+  Status status = LoadConfigFile(path_, &config);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("max_speed"), std::string::npos)
+      << status.message();
+}
+
+TEST_F(ConfigIoTest, HighwayMobilityParses) {
+  WriteFile("mobility = highway\n");
+  ScenarioConfig config;
+  ASSERT_TRUE(LoadConfigFile(path_, &config).ok());
+  EXPECT_EQ(config.mobility, Mobility::kHighway);
+}
+
+TEST_F(ConfigIoTest, ReadConfigEntriesReportsLineNumbers) {
+  WriteFile("# comment\npeers = 10\n\nrange = 300\n");
+  auto entries = ReadConfigEntries(path_);
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 2u);
+  EXPECT_EQ((*entries)[0].key, "peers");
+  EXPECT_EQ((*entries)[0].line, 2);
+  EXPECT_EQ((*entries)[1].key, "range");
+  EXPECT_EQ((*entries)[1].line, 4);
+}
+
 TEST_F(ConfigIoTest, RejectsInvalidFaultPlan) {
   WriteFile("churn_rate = 1.5\n");  // Not a probability.
   ScenarioConfig config;

@@ -39,6 +39,11 @@ fi
 echo "== tier-1 tests =="
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
 
+echo "== scenario corpus (validate-only) =="
+for cfg in scenarios/*.cfg; do
+  "./${BUILD_DIR}/tools/madnet_run" --validate-only --config="${cfg}"
+done
+
 echo "== perf smoke =="
 ./tools/perf_smoke.sh "./${BUILD_DIR}/bench/throughput"
 

@@ -16,6 +16,7 @@
 #include "mobility/trace_io.h"
 #include "scenario/config_io.h"
 #include "exec/replication.h"
+#include "scenario/multi_ad.h"
 #include "scenario/scenario.h"
 #include "util/flags.h"
 #include "util/json.h"
@@ -73,6 +74,10 @@ int Run(int argc, char** argv) {
   flags.Define("config", "",
                "load a 'key = value' scenario file first; explicit flags "
                "override it");
+  flags.Define("validate-only", "false",
+               "validate --config (single- or multi-ad) and exit: 0 = "
+               "valid, 2 = invalid with a diagnostic naming the key");
+  flags.Define("validate_only", "false", "alias for --validate-only");
   flags.Define("save_config", "",
                "write the effective configuration to this file and exit");
   flags.Define("json", "false", "emit results as JSON instead of a table");
@@ -86,6 +91,28 @@ int Run(int argc, char** argv) {
   }
   if (*flags.GetBool("help")) {
     std::fputs(flags.Usage("madnet_run").c_str(), stdout);
+    return 0;
+  }
+
+  if (*flags.GetBool("validate-only") || *flags.GetBool("validate_only")) {
+    // Contract check only: the file is validated exactly as the corpus CI
+    // job and the smoke tests see it; other flags are ignored.
+    const std::string path = flags.GetString("config");
+    if (path.empty()) {
+      std::fprintf(stderr, "--validate-only requires --config=<file>\n");
+      return 2;
+    }
+    scenario::MultiAdConfig loaded;
+    bool is_multi_ad = false;
+    Status valid = scenario::LoadScenarioFileAuto(path, &loaded,
+                                                  &is_multi_ad);
+    if (!valid.ok()) {
+      std::fprintf(stderr, "invalid scenario: %s\n",
+                   valid.ToString().c_str());
+      return 2;
+    }
+    std::printf("OK: %s (%s scenario)\n", path.c_str(),
+                is_multi_ad ? "multi-ad" : "single-ad");
     return 0;
   }
 
@@ -130,9 +157,8 @@ int Run(int argc, char** argv) {
       return 2;
     }
   }
-  config.medium.max_speed_mps =
-      config.mean_speed_mps + config.speed_delta_mps;
-
+  // The speed keys auto-raise medium.max_speed_mps inside ApplyConfigKey,
+  // so an explicit max_speed from the config file survives flag overrides.
   Status valid = config.Validate();
   if (!valid.ok()) {
     std::fprintf(stderr, "invalid configuration: %s\n",
