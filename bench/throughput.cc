@@ -15,6 +15,12 @@
 //      serially and then with a worker per hardware thread — wall-clock
 //      both ways and the resulting speedup. This is the number the
 //      exec::ThreadPool engine moves.
+//   4. Sharded metro scale (opt-in: --metro or MADNET_BENCH_METRO):
+//      one Table-II-density run at metro population (100k peers; 20k in
+//      fast mode) across a (tiles × intra-run jobs) grid — wall-clock and
+//      events/sec per point, with the sharding determinism gate on top:
+//      every point must report identical events/messages/deliveries
+//      (docs/SHARDING.md). --tiles=CSV overrides the per-side list.
 //
 // Results go to stdout and to BENCH_throughput.json in $MADNET_BENCH_CSV
 // (default "."). The sweep's aggregates are compared between the serial
@@ -22,10 +28,14 @@
 // binary. MADNET_BENCH_FAST shrinks both workloads.
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <vector>
+
+#include "exec/intra_run.h"
 
 #include "bench/bench_util.h"
 #include "exec/parallel_for.h"
@@ -96,7 +106,44 @@ bool SweepsIdentical(const SweepResult& a, const SweepResult& b) {
   return true;
 }
 
-void Run(const bench::BenchEnv& env) {
+/// One (tiles-per-side × intra-run jobs) point of the metro grid.
+struct MetroPoint {
+  int tiles_per_side = 1;
+  int jobs = 1;
+  double wall_s = 0.0;
+  RunResult result;
+  sim::ShardStats shard;
+  uint32_t tile_count = 1;
+};
+
+/// Runs the metro scenario once at the point's tile/jobs setting.
+MetroPoint RunMetroPoint(ScenarioConfig config, int tiles_per_side,
+                         int jobs) {
+  MetroPoint point;
+  point.tiles_per_side = tiles_per_side;
+  point.jobs = jobs;
+  config.tiles = tiles_per_side;
+  if (Status status = config.Validate(); !status.ok()) {
+    MADNET_LOG_ERROR("metro config (tiles=%d): %s", tiles_per_side,
+                     status.ToString().c_str());
+    std::exit(EXIT_FAILURE);
+  }
+  scenario::Scenario scenario(config);
+  if (jobs > 1) {
+    scenario.medium()->SetParallelExecutor(exec::IntraRunExecutor(jobs));
+  }
+  const auto start = std::chrono::steady_clock::now();
+  point.result = scenario.Run();
+  point.wall_s = SecondsSince(start);
+  if (scenario.simulator()->sharded()) {
+    point.shard = scenario.simulator()->shard_stats();
+    point.tile_count = scenario.simulator()->shard_tile_count();
+  }
+  return point;
+}
+
+void Run(const bench::BenchEnv& env, bool metro,
+         std::vector<int> metro_tiles) {
   bench::PrintHeader(
       "Throughput — raw engine speed (tracked across PRs, not a figure)",
       "n/a; reference numbers for the simulation core itself.");
@@ -222,6 +269,71 @@ void Run(const bench::BenchEnv& env) {
   std::printf("  determinism       serial == jobs=%d aggregates ✓\n",
               parallel_jobs);
 
+  // --- 4. Sharded metro scale (opt-in; see docs/SHARDING.md and the
+  // EXPERIMENTS.md "Metro scale" section). ---
+  std::vector<MetroPoint> metro_points;
+  ScenarioConfig metro_config;
+  if (metro) {
+    // Table II density (300 peers on a 5 km side) preserved at metro
+    // population, so per-broadcast receiver counts — and therefore the
+    // physics — match the paper's regime while the event count scales
+    // with the population. Pure gossiping, not the postpone-optimized
+    // variant: "the gossiping process is always active", so every peer
+    // keeps a live 5 s round chain and the calendar really holds one
+    // timer per peer — the load the tiled loop exists for.
+    metro_config.num_peers = env.fast ? 20000 : 100000;
+    metro_config.area_size_m =
+        5000.0 * std::sqrt(metro_config.num_peers / 300.0);
+    metro_config.issue_location = {metro_config.area_size_m / 2.0,
+                                   metro_config.area_size_m / 2.0};
+    metro_config.sim_time_s = env.fast ? 20.0 : 40.0;
+    metro_config.issue_time_s = 5.0;
+    metro_config.method = Method::kGossip;
+    metro_config.initial_radius_m = 5000.0;  // A metro downtown.
+    if (metro_tiles.empty()) {
+      metro_tiles = env.fast ? std::vector<int>{1, 8, 16}
+                             : std::vector<int>{1, 8, 16, 32};
+    }
+    const std::vector<int> metro_jobs = {1, env.jobs > 1 ? env.jobs : 2};
+    std::printf(
+        "\nSharded metro scale (%d peers, %.0f m side, %.0f s simulated):\n",
+        metro_config.num_peers, metro_config.area_size_m,
+        metro_config.sim_time_s);
+    for (int tiles : metro_tiles) {
+      for (int jobs : metro_jobs) {
+        MetroPoint point = RunMetroPoint(metro_config, tiles, jobs);
+        const double eps =
+            static_cast<double>(point.result.events_executed) / point.wall_s;
+        std::printf(
+            "  tiles=%-3d jobs=%d  %8.3f s  %11.0f events/s"
+            "  (handoffs %llu, migrations %llu)\n",
+            tiles, jobs, point.wall_s, eps,
+            static_cast<unsigned long long>(point.shard.cross_tile_handoffs),
+            static_cast<unsigned long long>(point.shard.migrations));
+        metro_points.push_back(std::move(point));
+      }
+    }
+    // The sharding determinism gate at scale: every grid point computed
+    // the identical simulation. Trace-byte identity is covered by the
+    // scenario_sharding tests; at 100k peers the cheap full-strength
+    // check is the counter triple.
+    const RunResult& head = metro_points.front().result;
+    for (const MetroPoint& point : metro_points) {
+      if (point.result.events_executed != head.events_executed ||
+          point.result.net.messages_sent != head.net.messages_sent ||
+          point.result.net.deliveries != head.net.deliveries) {
+        MADNET_LOG_ERROR(
+            "metro point tiles=%d jobs=%d diverged from tiles=%d jobs=%d — "
+            "sharding determinism contract broken",
+            point.tiles_per_side, point.jobs,
+            metro_points.front().tiles_per_side, metro_points.front().jobs);
+        std::exit(EXIT_FAILURE);
+      }
+    }
+    std::printf("  determinism       all %zu tile/jobs points identical ✓\n",
+                metro_points.size());
+  }
+
   if (env.csv_dir.empty()) return;
   JsonWriter json;
   json.BeginObject();
@@ -296,6 +408,45 @@ void Run(const bench::BenchEnv& env) {
   json.Key("deterministic");
   json.Value(true);
   json.EndObject();
+  if (!metro_points.empty()) {
+    json.Key("metro");
+    json.BeginObject();
+    json.Key("peers");
+    json.Value(metro_config.num_peers);
+    json.Key("area_size_m");
+    json.Value(metro_config.area_size_m);
+    json.Key("sim_time_s");
+    json.Value(metro_config.sim_time_s);
+    json.Key("points");
+    json.BeginArray();
+    for (const MetroPoint& point : metro_points) {
+      json.BeginObject();
+      json.Key("tiles_per_side");
+      json.Value(point.tiles_per_side);
+      json.Key("tile_count");
+      json.Value(static_cast<uint64_t>(point.tile_count));
+      json.Key("jobs");
+      json.Value(point.jobs);
+      json.Key("wall_s");
+      json.Value(point.wall_s);
+      json.Key("events");
+      json.Value(static_cast<uint64_t>(point.result.events_executed));
+      json.Key("events_per_sec");
+      json.Value(static_cast<double>(point.result.events_executed) /
+                 point.wall_s);
+      json.Key("cross_tile_handoffs");
+      json.Value(point.shard.cross_tile_handoffs);
+      json.Key("migrations");
+      json.Value(point.shard.migrations);
+      json.Key("lookahead_violations");
+      json.Value(point.shard.lookahead_violations);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.Key("deterministic");
+    json.Value(true);
+    json.EndObject();
+  }
   json.EndObject();
 
   const std::string path = env.csv_dir + "/BENCH_throughput.json";
@@ -314,7 +465,30 @@ void Run(const bench::BenchEnv& env) {
 
 int main(int argc, char** argv) {
   const auto env = madnet::bench::BenchEnv::FromEnvironment(argc, argv);
+  bool metro = std::getenv("MADNET_BENCH_METRO") != nullptr;
+  std::vector<int> metro_tiles;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metro") == 0) {
+      metro = true;
+    } else if (std::strncmp(argv[i], "--tiles=", 8) == 0) {
+      // Comma-separated per-side values for the metro grid, e.g.
+      // --tiles=1,8,32 (implies --metro).
+      metro = true;
+      metro_tiles.clear();
+      for (const char* p = argv[i] + 8; *p != '\0';) {
+        char* end = nullptr;
+        const long value = std::strtol(p, &end, 10);
+        if (end == p || value < 0) {
+          MADNET_LOG_ERROR("--tiles wants comma-separated counts, got \"%s\"",
+                           argv[i] + 8);
+          return 2;
+        }
+        metro_tiles.push_back(static_cast<int>(value));
+        p = *end == ',' ? end + 1 : end;
+      }
+    }
+  }
   madnet::bench::ObsGuard obs(env);
-  madnet::Run(env);
+  madnet::Run(env, metro, std::move(metro_tiles));
   return 0;
 }

@@ -1,0 +1,42 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+
+#include "exec/intra_run.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "exec/parallel_for.h"
+#include "exec/thread_pool.h"
+
+namespace madnet::exec {
+
+net::Medium::ParallelExecutor IntraRunExecutor(int jobs) {
+  const int workers = ResolveJobs(jobs);
+  if (workers <= 1) return nullptr;
+  // One persistent pool per executor (shared_ptr: the executor is copied
+  // into the medium's std::function). The medium is single-threaded, so
+  // calls never overlap and Wait() always waits on this call's chunks
+  // only. Each Medium must get its *own* executor — sharing one across
+  // concurrently-running replications would make Wait() observe foreign
+  // tasks.
+  auto pool = std::make_shared<ThreadPool>(workers);
+  return [pool, workers](size_t count,
+                         const std::function<void(size_t, size_t)>& body) {
+    if (count == 0) return;
+    // Contiguous chunks, one per worker: per-node state lives in dense
+    // arrays, so contiguous ranges keep each worker on its own cache
+    // lines. The remainder spreads one extra element over the first
+    // `rem` chunks.
+    const size_t chunks = std::min<size_t>(static_cast<size_t>(workers), count);
+    const size_t base = count / chunks;
+    const size_t rem = count % chunks;
+    for (size_t c = 0; c < chunks; ++c) {
+      const size_t begin = c * base + std::min(c, rem);
+      const size_t end = begin + base + (c < rem ? 1 : 0);
+      pool->Submit([&body, begin, end]() { body(begin, end); });
+    }
+    pool->Wait();
+  };
+}
+
+}  // namespace madnet::exec

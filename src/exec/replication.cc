@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "exec/intra_run.h"
 #include "exec/parallel_for.h"
 #include "obs/run_context.h"
 #include "obs/session.h"
@@ -15,12 +16,11 @@
 namespace madnet::exec {
 
 using scenario::RunResult;
-using scenario::RunScenario;
 using scenario::SaveConfigText;
 using scenario::ScenarioConfig;
 
 Aggregate RunReplicated(const ScenarioConfig& base, int replications,
-                        int jobs) {
+                        int jobs, int intra_jobs) {
   MADNET_DCHECK_GE(replications, 1);
   obs::Session* session = obs::Session::Get();
 
@@ -38,6 +38,17 @@ Aggregate RunReplicated(const ScenarioConfig& base, int replications,
       ResolveJobs(jobs), results.size(), [&](size_t i) {
         ScenarioConfig config = base;
         config.seed = base.seed + static_cast<uint64_t>(i);
+        // Intra-run workers, wired after construction so the scenario
+        // layer never depends on exec. Each replication gets its own pool
+        // (IntraRunExecutor's Wait() must only see its medium's chunks).
+        auto run = [&](obs::RunContext* obs) {
+          scenario::Scenario scenario(config, obs);
+          if (intra_jobs != 1) {
+            scenario.medium()->SetParallelExecutor(
+                IntraRunExecutor(intra_jobs));
+          }
+          return scenario.Run();
+        };
         if (session != nullptr) {
           auto context =
               std::make_unique<obs::RunContext>(session->options().trace);
@@ -45,11 +56,11 @@ Aggregate RunReplicated(const ScenarioConfig& base, int replications,
           // Per-replication wall clock, surfaced via the manifest's
           // "replication" phase (seconds summed, count = replications).
           obs::PhaseTimer replication_timer(context.get(), "replication");
-          results[i] = RunScenario(config, context.get());
+          results[i] = run(context.get());
           replication_timer.Stop();
           contexts[i] = std::move(context);
         } else {
-          results[i] = RunScenario(config);
+          results[i] = run(nullptr);
         }
       });
   if (session != nullptr) {

@@ -231,6 +231,21 @@ Status ScenarioConfig::Validate() const {
         " (keys 'speed'/'speed_delta') — the spatial index uses it as "
         "staleness slack");
   }
+  if (tiles < 0) {
+    return BadKey("tiles", Num(tiles),
+                  "accepted range [0, inf) — 0 means auto, 1 the single "
+                  "shared event queue, K >= 2 a K x K tile grid");
+  }
+  if (tiles >= 2 && area_size_m / tiles < medium.range_m) {
+    return Status::InvalidArgument(
+        "key 'tiles' = " + Num(tiles) + ": tile edge area/tiles = " +
+        Num(area_size_m / tiles) +
+        " m is narrower than the transmission range (key 'range' = " +
+        Num(medium.range_m) +
+        " m) — a broadcast disc must span at most the 3 x 3 tile "
+        "neighbourhood (docs/SHARDING.md); use fewer tiles or a larger "
+        "arena");
+  }
   Status fault_valid = fault.Validate();
   if (!fault_valid.ok()) return fault_valid;
   // Cross-field fault geometry/timing: the plan alone cannot know the

@@ -1,0 +1,243 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+
+#include "sim/sharded_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace madnet::sim {
+
+namespace {
+// std::*_heap comparators expect "less" for a max-heap; inverting Before
+// yields the min-heaps we want.
+struct EntryGreater {
+  template <typename E>
+  bool operator()(const E& a, const E& b) const {
+    if (a.when != b.when) return a.when > b.when;
+    return a.seq > b.seq;
+  }
+};
+}  // namespace
+
+ShardedEventQueue::ShardedEventQueue(uint32_t tile_count) {
+  MADNET_DCHECK_GE(tile_count, 1u);
+  tiles_.resize(tile_count);
+}
+
+EventId ShardedEventQueue::NextSeq(Callback callback, uint32_t* slot) {
+  // state_ grows one byte per id, so a queue would need > 4 GiB of
+  // lifecycle bytes before the 32-bit entry seq could wrap (same bound as
+  // EventQueue).
+  MADNET_DCHECK(next_seq_ <= 0xFFFFFFFFull);
+  const EventId id = next_seq_++;
+  if (free_slots_.empty()) {
+    *slot = static_cast<uint32_t>(slots_.size());
+    slots_.push_back(std::move(callback));
+  } else {
+    *slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[*slot] = std::move(callback);
+  }
+  // NOLINTNEXTLINE(madnet-hot-transitive-alloc): amortized O(1) per-id growth.
+  state_.push_back(kPending);
+  return id;
+}
+
+EventId ShardedEventQueue::Push(Time when, uint32_t tile, Callback callback) {
+  MADNET_DCHECK(tile < tiles_.size());
+  MADNET_DCHECK(when == when);  // NaN would corrupt the heap order.
+  uint32_t slot = 0;
+  const EventId id = NextSeq(std::move(callback), &slot);
+  // NOLINTNEXTLINE(madnet-hot-transitive-alloc): amortized O(1) per-id growth.
+  owner_.push_back(tile);
+  Tile& t = tiles_[tile];
+  HeapPush(&t, {when, static_cast<uint32_t>(id), slot});
+  ++live_count_;
+  ++t.live;
+  t.peak = std::max(t.peak, t.live);
+  // Only a push that became the tile's minimum moves the tile's key in
+  // the merge; anything later is already covered by the current snapshot.
+  if (t.heap.front().seq == static_cast<uint32_t>(id)) Advertise(tile);
+  return id;
+}
+
+EventId ShardedEventQueue::PushHandoff(Time when, uint32_t source_tile,
+                                       uint32_t target_tile,
+                                       Callback callback) {
+  MADNET_DCHECK(source_tile < tiles_.size());
+  MADNET_DCHECK(target_tile < tiles_.size());
+  MADNET_DCHECK(when == when);
+  uint32_t slot = 0;
+  const EventId id = NextSeq(std::move(callback), &slot);
+  // NOLINTNEXTLINE(madnet-hot-transitive-alloc): amortized O(1) per-id growth.
+  owner_.push_back(source_tile);
+  Tile& t = tiles_[source_tile];
+  // NOLINTNEXTLINE(madnet-hot-transitive-alloc): amortized buffer growth.
+  t.handoff.push_back({when, static_cast<uint32_t>(id), slot, target_tile});
+  ++buffered_handoffs_;
+  ++handoffs_;
+  ++live_count_;
+  ++t.live;
+  t.peak = std::max(t.peak, t.live);
+  return id;
+}
+
+void ShardedEventQueue::FlushHandoffs(uint32_t source_tile) {
+  Tile& source = tiles_[source_tile];
+  if (source.handoff.empty()) return;
+  // Buffer order is seq order (appends only), which is what the handoff
+  // contract requires: one source's entries drain oldest-first, and the
+  // loop flushes sources in ascending tile order at each barrier.
+  for (const HandoffEntry& entry : source.handoff) {
+    MADNET_DCHECK(buffered_handoffs_ > 0);
+    --buffered_handoffs_;
+    const size_t idx = entry.seq - 1;
+    if (state_[idx] == kCancelled) {
+      // Cancelled while buffered: Cancel already released the live counts;
+      // retire the entry without it ever touching a calendar.
+      state_[idx] = kDone;
+      (void)TakeSlot(entry.slot);
+      continue;
+    }
+    MADNET_DCHECK(state_[idx] == kPending);
+    --source.live;
+    owner_[idx] = entry.target_tile;
+    Tile& target = tiles_[entry.target_tile];
+    HeapPush(&target, {entry.when, entry.seq, entry.slot});
+    ++target.live;
+    target.peak = std::max(target.peak, target.live);
+    if (target.heap.front().seq == entry.seq) Advertise(entry.target_tile);
+  }
+  source.handoff.clear();
+}
+
+bool ShardedEventQueue::Cancel(EventId id) {
+  if (id == kInvalidEventId || id >= next_seq_) return false;
+  const size_t idx = id - 1;
+  if (state_[idx] != kPending) return false;
+  state_[idx] = kCancelled;
+  MADNET_DCHECK(live_count_ > 0);
+  --live_count_;
+  --tiles_[owner_[idx]].live;
+  return true;
+}
+
+void ShardedEventQueue::HeapPush(Tile* tile, const Entry& entry) {
+  // NOLINTNEXTLINE(madnet-hot-transitive-alloc): amortized O(1) heap growth.
+  tile->heap.push_back(entry);
+  std::push_heap(tile->heap.begin(), tile->heap.end(), EntryGreater());
+}
+
+void ShardedEventQueue::HeapPop(Tile* tile) {
+  std::pop_heap(tile->heap.begin(), tile->heap.end(), EntryGreater());
+  tile->heap.pop_back();
+}
+
+bool ShardedEventQueue::SettleTile(uint32_t tile) {
+  Tile& t = tiles_[tile];
+  while (!t.heap.empty()) {
+    const Entry& top = t.heap.front();
+    if (state_[top.seq - 1] != kCancelled) return true;
+    state_[top.seq - 1] = kDone;
+    (void)TakeSlot(top.slot);
+    HeapPop(&t);
+  }
+  return false;
+}
+
+void ShardedEventQueue::Advertise(uint32_t tile) {
+  Tile& t = tiles_[tile];
+  ++t.version;  // Retires every outstanding snapshot of this tile.
+  if (!SettleTile(tile)) return;  // Empty: nothing to cover.
+  const Entry& top = t.heap.front();
+  // NOLINTNEXTLINE(madnet-hot-transitive-alloc): amortized merge-heap growth.
+  order_.push_back({top.when, top.seq, tile, t.version});
+  std::push_heap(order_.begin(), order_.end(), EntryGreater());
+}
+
+void ShardedEventQueue::SettleOrder() {
+  // Invariant: every non-empty tile's current-version snapshot is in the
+  // merge heap with a key <= the tile's live minimum (it can run below it
+  // when cancellations removed the snapshotted entry — the snapshot then
+  // merely surfaces early and is repaired here). The heap's settled top is
+  // therefore the tile holding the global (time, seq) minimum.
+  for (;;) {
+    MADNET_DCHECK(!order_.empty());
+    const OrderKey top = order_.front();
+    Tile& t = tiles_[top.tile];
+    if (top.version != t.version) {
+      // Superseded snapshot: its tile re-advertised since. Drop it.
+      std::pop_heap(order_.begin(), order_.end(), EntryGreater());
+      order_.pop_back();
+      continue;
+    }
+    if (!SettleTile(top.tile)) {
+      // Current snapshot of a tile whose entries were all cancelled.
+      std::pop_heap(order_.begin(), order_.end(), EntryGreater());
+      order_.pop_back();
+      continue;
+    }
+    const Entry& cur = t.heap.front();
+    if (cur.when == top.when && cur.seq == top.seq) return;
+    // A cancellation changed the tile's minimum: retire and re-publish.
+    std::pop_heap(order_.begin(), order_.end(), EntryGreater());
+    order_.pop_back();
+    Advertise(top.tile);
+  }
+}
+
+Time ShardedEventQueue::NextTime() {
+  MADNET_DCHECK(live_count_ > 0);
+  MADNET_DCHECK(buffered_handoffs_ == 0 && "unflushed handoffs before drain");
+  SettleOrder();
+  return tiles_[order_.front().tile].heap.front().when;
+}
+
+ShardedEventQueue::Popped ShardedEventQueue::Pop() {
+  MADNET_DCHECK(live_count_ > 0);
+  MADNET_DCHECK(buffered_handoffs_ == 0 && "unflushed handoffs before drain");
+  SettleOrder();
+  const uint32_t tile = order_.front().tile;
+  std::pop_heap(order_.begin(), order_.end(), EntryGreater());
+  order_.pop_back();
+  Tile& t = tiles_[tile];
+  const Entry entry = t.heap.front();
+  HeapPop(&t);
+  state_[entry.seq - 1] = kDone;
+  MADNET_DCHECK(live_count_ > 0);
+  --live_count_;
+  --t.live;
+  // Publish the tile's new top so the merge heap keeps covering it.
+  Advertise(tile);
+  return {entry.when, tile, TakeSlot(entry.slot)};
+}
+
+void ShardedEventQueue::Clear() {
+  for (Tile& tile : tiles_) {
+    for (const Entry& entry : tile.heap) {
+      state_[entry.seq - 1] = kDone;
+      (void)TakeSlot(entry.slot);
+    }
+    for (const HandoffEntry& entry : tile.handoff) {
+      state_[entry.seq - 1] = kDone;
+      (void)TakeSlot(entry.slot);
+    }
+    tile.heap.clear();
+    tile.handoff.clear();
+    tile.live = 0;
+  }
+  order_.clear();
+  live_count_ = 0;
+  buffered_handoffs_ = 0;
+}
+
+ShardedEventQueue::Callback ShardedEventQueue::TakeSlot(uint32_t slot) {
+  Callback callback = std::move(slots_[slot]);
+  slots_[slot] = nullptr;
+  free_slots_.push_back(slot);
+  return callback;
+}
+
+}  // namespace madnet::sim

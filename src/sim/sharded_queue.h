@@ -1,0 +1,181 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+//
+// The pending-event set of the spatially sharded event loop: one calendar
+// of events per tile plus deterministic cross-tile handoff buffers
+// (docs/SHARDING.md).
+//
+// Determinism contract. Every entry carries a globally unique sequence
+// number assigned in scheduling order, and extraction follows the strict
+// total order (time, seq) — the *same* key EventQueue uses. The K-way
+// merge over tile calendars therefore pops events in exactly the order a
+// single shared queue would, for any tile count: tile assignment decides
+// which calendar an event waits in, never when it runs. Byte-identity of
+// tiled runs against single-tile runs (test-enforced, the PR 5 cmp gate)
+// follows from this one invariant.
+//
+// Handoff buffers. While the loop is executing an event owned by tile S,
+// a schedule targeting another tile T does not touch T's calendar
+// directly: it is appended to S's handoff buffer and flushed at the
+// post-event barrier, buffers drained in ascending (source tile, seq)
+// order. Under the serial merged drain the flush point is invisible (the
+// merge orders by (time, seq) regardless of which side of the barrier an
+// entry was inserted on); it exists so a future parallel drain — tiles
+// executing a conservative lookahead window concurrently — inherits a
+// well-defined, already-tested insertion order for cross-tile traffic.
+//
+// Cancellation is lazy, as in EventQueue: a per-seq state byte flips to
+// cancelled and the entry is reaped when it surfaces (or at flush time for
+// still-buffered handoffs).
+
+#ifndef MADNET_SIM_SHARDED_QUEUE_H_
+#define MADNET_SIM_SHARDED_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace madnet::sim {
+
+/// Per-tile calendars with a (time, seq)-merged drain. Single-threaded;
+/// the parallel story lives one level up (the drain itself stays serial
+/// and canonical — see docs/SHARDING.md "What runs in parallel today").
+class ShardedEventQueue {
+ public:
+  using Callback = EventQueue::Callback;
+
+  /// One extracted event.
+  struct Popped {
+    Time when = 0.0;
+    uint32_t tile = 0;
+    Callback callback;
+  };
+
+  explicit ShardedEventQueue(uint32_t tile_count);
+  ShardedEventQueue(const ShardedEventQueue&) = delete;
+  ShardedEventQueue& operator=(const ShardedEventQueue&) = delete;
+
+  uint32_t tile_count() const { return static_cast<uint32_t>(tiles_.size()); }
+
+  /// Schedules `callback` at `when`, owned by `tile`. Direct insertion into
+  /// the tile's calendar — for scheduling from outside event execution or
+  /// from within the owning tile itself.
+  EventId Push(Time when, uint32_t tile, Callback callback);
+
+  /// Cross-tile schedule made while `source_tile` is executing: the entry
+  /// gets its sequence number (and cancellable id) immediately but waits in
+  /// the source tile's handoff buffer until FlushHandoffs(source_tile).
+  EventId PushHandoff(Time when, uint32_t source_tile, uint32_t target_tile,
+                      Callback callback);
+
+  /// Drains `source_tile`'s handoff buffer into the target calendars, in
+  /// buffer (= seq) order. Entries cancelled while buffered are dropped
+  /// here. Must run before the next Pop/NextTime (DCHECKed).
+  void FlushHandoffs(uint32_t source_tile);
+
+  /// Cancels a pending event (buffered handoffs included). Returns false
+  /// if it already ran, was already cancelled, or never existed.
+  bool Cancel(EventId id);
+
+  bool Empty() const { return live_count_ == 0; }
+  size_t Size() const { return live_count_; }
+
+  /// Timestamp of the earliest runnable event. Requires !Empty() and no
+  /// unflushed handoffs.
+  Time NextTime();
+
+  /// Removes and returns the earliest runnable event across all tiles —
+  /// the global (time, seq) minimum. Requires !Empty() and no unflushed
+  /// handoffs.
+  Popped Pop();
+
+  /// Drops every pending event (buffered handoffs included).
+  void Clear();
+
+  /// Live entries currently owned by `tile` (buffered handoffs count
+  /// toward their source tile).
+  size_t TileSize(uint32_t tile) const { return tiles_[tile].live; }
+
+  /// High-water mark of TileSize over the queue's lifetime.
+  size_t TilePeak(uint32_t tile) const { return tiles_[tile].peak; }
+
+  /// Total cross-tile entries ever buffered through PushHandoff.
+  uint64_t handoffs() const { return handoffs_; }
+
+ private:
+  struct Entry {
+    Time when;
+    uint32_t seq;
+    uint32_t slot;
+  };
+  /// Strict total order shared with EventQueue: (when, seq) lexicographic.
+  static bool Before(const Entry& a, const Entry& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  }
+
+  struct HandoffEntry {
+    Time when;
+    uint32_t seq;
+    uint32_t slot;
+    uint32_t target_tile;
+  };
+
+  struct Tile {
+    std::vector<Entry> heap;  // Binary min-heap on Before().
+    std::vector<HandoffEntry> handoff;  // Outbound, seq-ascending.
+    size_t live = 0;   // Non-cancelled entries owned here (heap + handoff).
+    size_t peak = 0;
+    /// Snapshot generation: only the OrderKey carrying the current version
+    /// is live; surfaced snapshots with older versions are discarded in
+    /// O(log) with no re-advertisement, which keeps the merge heap's total
+    /// work O(log) amortized per event (a refresh-in-place scheme instead
+    /// accumulates duplicate snapshots per tile top and goes quadratic on
+    /// periodic-timer workloads where tiles never empty out).
+    uint32_t version = 0;
+  };
+
+  /// Key the merge heap orders tiles by: a snapshot of the tile's top at
+  /// version `version`. At most one snapshot per tile is current; the rest
+  /// are stale and get dropped when they surface.
+  struct OrderKey {
+    Time when;
+    uint32_t seq;
+    uint32_t tile;
+    uint32_t version;
+  };
+
+  // Per-seq lifecycle, as in EventQueue.
+  enum : uint8_t { kPending = 0, kDone = 1, kCancelled = 2 };
+
+  EventId NextSeq(Callback callback, uint32_t* slot);
+  void HeapPush(Tile* tile, const Entry& entry);
+  void HeapPop(Tile* tile);
+  /// Drops cancelled tops of `tile`'s heap. Returns false if it emptied.
+  bool SettleTile(uint32_t tile);
+  /// Invalidates `tile`'s current snapshot and publishes a fresh one for
+  /// its (settled) top, if any. Called whenever the tile's minimum may
+  /// have changed: a push that became the new top, a pop, a flush insert,
+  /// or a cancellation detected at the surface.
+  void Advertise(uint32_t tile);
+  /// Ensures the merge heap's top names the tile holding the global
+  /// minimum entry. Requires live_count_ > 0.
+  void SettleOrder();
+  Callback TakeSlot(uint32_t slot);
+
+  std::vector<Tile> tiles_;
+  std::vector<OrderKey> order_;  // Min-heap on OrderBefore (lazy keys).
+  std::vector<Callback> slots_;
+  std::vector<uint32_t> free_slots_;
+  std::vector<uint8_t> state_;   // Indexed by seq - 1.
+  std::vector<uint32_t> owner_;  // Owning tile of seq - 1 (for TileSize).
+  uint64_t next_seq_ = 1;       // 0 is kInvalidEventId.
+  size_t live_count_ = 0;
+  size_t buffered_handoffs_ = 0;  // Unflushed entries across all tiles.
+  uint64_t handoffs_ = 0;
+};
+
+}  // namespace madnet::sim
+
+#endif  // MADNET_SIM_SHARDED_QUEUE_H_

@@ -1,0 +1,53 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+
+#include "sim/tile_grid.h"
+
+#include <algorithm>
+
+namespace madnet::sim {
+
+double TileGrid::DistanceSquaredToTile(const Vec2& center, uint32_t col,
+                                       uint32_t row) const {
+  const double lo_x = col * tile_edge_m_;
+  const double hi_x = (col + 1) * tile_edge_m_;
+  const double lo_y = row * tile_edge_m_;
+  const double hi_y = (row + 1) * tile_edge_m_;
+  const double dx = std::max({lo_x - center.x, 0.0, center.x - hi_x});
+  const double dy = std::max({lo_y - center.y, 0.0, center.y - hi_y});
+  return dx * dx + dy * dy;
+}
+
+void TileGrid::TilesOverlapping(const Vec2& center, double radius,
+                                std::vector<uint32_t>* out) const {
+  out->clear();
+  const uint32_t col_lo = ColumnOf(center.x - radius);
+  const uint32_t col_hi = ColumnOf(center.x + radius);
+  const uint32_t row_lo = RowOf(center.y - radius);
+  const uint32_t row_hi = RowOf(center.y + radius);
+  const double r2 = radius * radius;
+  for (uint32_t row = row_lo; row <= row_hi; ++row) {
+    for (uint32_t col = col_lo; col <= col_hi; ++col) {
+      if (DistanceSquaredToTile(center, col, row) <= r2) {
+        out->push_back(row * per_side_ + col);
+      }
+    }
+  }
+}
+
+uint32_t TileGrid::CountTilesOverlapping(const Vec2& center,
+                                         double radius) const {
+  const uint32_t col_lo = ColumnOf(center.x - radius);
+  const uint32_t col_hi = ColumnOf(center.x + radius);
+  const uint32_t row_lo = RowOf(center.y - radius);
+  const uint32_t row_hi = RowOf(center.y + radius);
+  const double r2 = radius * radius;
+  uint32_t count = 0;
+  for (uint32_t row = row_lo; row <= row_hi; ++row) {
+    for (uint32_t col = col_lo; col <= col_hi; ++col) {
+      count += DistanceSquaredToTile(center, col, row) <= r2 ? 1u : 0u;
+    }
+  }
+  return count;
+}
+
+}  // namespace madnet::sim

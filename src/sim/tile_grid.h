@@ -1,0 +1,97 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+//
+// Tile geometry for the spatially sharded event loop (docs/SHARDING.md).
+// The square arena is cut into a uniform per_side x per_side grid of
+// square tiles; every event with a spatial owner (a delivery's receiver, a
+// node's gossip round) is binned to the tile containing that position.
+// Binning is purely an execution-plan concern: the sharding contract
+// guarantees that tile assignment never changes what a run computes, only
+// which per-tile calendar holds each pending event (see ShardedEventQueue
+// and the determinism argument in docs/SHARDING.md).
+
+#ifndef MADNET_SIM_TILE_GRID_H_
+#define MADNET_SIM_TILE_GRID_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/geometry.h"
+#include "util/logging.h"
+
+namespace madnet::sim {
+
+/// Uniform square tiling of a square arena. Immutable after construction;
+/// shared read-only by the simulator's sharded queue, the medium's
+/// delivery router, and the protocols' round re-binning.
+class TileGrid {
+ public:
+  /// Tiles the square [0, area_size_m]^2 into per_side^2 tiles.
+  /// Requires area_size_m > 0 and per_side >= 1.
+  TileGrid(double area_size_m, uint32_t per_side)
+      : area_size_m_(area_size_m),
+        per_side_(per_side),
+        tile_edge_m_(area_size_m / per_side),
+        inv_edge_(per_side / area_size_m) {
+    MADNET_DCHECK(area_size_m > 0.0);
+    MADNET_DCHECK_GE(per_side, 1u);
+  }
+
+  uint32_t per_side() const { return per_side_; }
+  uint32_t tile_count() const { return per_side_ * per_side_; }
+  double tile_edge_m() const { return tile_edge_m_; }
+  double area_size_m() const { return area_size_m_; }
+
+  /// Column of an x coordinate (clamped into the arena). A coordinate
+  /// exactly on an interior tile boundary belongs to the tile above it
+  /// (floor semantics); the arena's far edge clamps back into the last
+  /// tile. This owner rule is part of the sharding contract: it is
+  /// deterministic, so a transmitter sitting exactly on a seam is owned by
+  /// exactly one tile in every run.
+  uint32_t ColumnOf(double x) const { return Clamp(std::floor(x * inv_edge_)); }
+  uint32_t RowOf(double y) const { return Clamp(std::floor(y * inv_edge_)); }
+
+  /// Tile id of a position: row-major, tile (col, row) = row * per_side +
+  /// col. Positions outside the arena clamp to the border tiles (mobility
+  /// reflects at the walls, so only transient float spill lands there).
+  uint32_t TileOf(const Vec2& position) const {
+    return RowOf(position.y) * per_side_ + ColumnOf(position.x);
+  }
+  uint32_t TileOf(double x, double y) const {
+    return RowOf(y) * per_side_ + ColumnOf(x);
+  }
+
+  /// Fills `out` (cleared first; ascending, deduplicated) with the ids of
+  /// every tile whose square intersects the closed disc (center, radius) —
+  /// the tiles a broadcast from `center` can reach: the ghost region of
+  /// the transmission.
+  /// Exact square/disc intersection, not the bounding box: a disc hugging
+  /// a corner reports the diagonal neighbour only when it truly overlaps.
+  void TilesOverlapping(const Vec2& center, double radius,
+                        std::vector<uint32_t>* out) const;
+
+  /// Number of tiles TilesOverlapping would report, without materializing
+  /// them. Used by the medium's hot path to count ghost (multi-tile)
+  /// broadcasts with no allocation.
+  uint32_t CountTilesOverlapping(const Vec2& center, double radius) const;
+
+ private:
+  uint32_t Clamp(double cell) const {
+    if (!(cell > 0.0)) return 0;  // NaN-safe: anything non-positive -> 0.
+    const uint32_t c = static_cast<uint32_t>(cell);
+    return c >= per_side_ ? per_side_ - 1 : c;
+  }
+
+  /// Squared distance from the disc center to tile (col, row)'s square.
+  double DistanceSquaredToTile(const Vec2& center, uint32_t col,
+                               uint32_t row) const;
+
+  double area_size_m_;
+  uint32_t per_side_;
+  double tile_edge_m_;
+  double inv_edge_;
+};
+
+}  // namespace madnet::sim
+
+#endif  // MADNET_SIM_TILE_GRID_H_

@@ -1,0 +1,243 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+//
+// The sharded pending-event set's determinism contract (docs/SHARDING.md):
+// the (time, seq) merged drain pops in exactly the order a single shared
+// EventQueue would, at any tile count; handoff buffers flush in (source
+// tile, seq) order; cancellation works on calendared and buffered entries
+// alike.
+
+#include "sim/sharded_queue.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.h"
+#include "util/random.h"
+
+namespace madnet::sim {
+namespace {
+
+TEST(ShardedEventQueueTest, StartsEmpty) {
+  ShardedEventQueue queue(4);
+  EXPECT_TRUE(queue.Empty());
+  EXPECT_EQ(queue.Size(), 0u);
+  EXPECT_EQ(queue.tile_count(), 4u);
+}
+
+TEST(ShardedEventQueueTest, PopsInTimeOrderAcrossTiles) {
+  ShardedEventQueue queue(3);
+  std::vector<int> order;
+  queue.Push(3.0, 0, [&] { order.push_back(3); });
+  queue.Push(1.0, 2, [&] { order.push_back(1); });
+  queue.Push(2.0, 1, [&] { order.push_back(2); });
+  while (!queue.Empty()) queue.Pop().callback();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ShardedEventQueueTest, FifoAmongEqualTimesRegardlessOfTile) {
+  // Equal timestamps drain in global scheduling (seq) order even when the
+  // entries alternate tiles — the exact EventQueue tie-break.
+  ShardedEventQueue queue(4);
+  std::vector<int> order;
+  for (int i = 0; i < 12; ++i) {
+    queue.Push(5.0, static_cast<uint32_t>(i % 4),
+               [&order, i] { order.push_back(i); });
+  }
+  while (!queue.Empty()) queue.Pop().callback();
+  for (int i = 0; i < 12; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ShardedEventQueueTest, PoppedReportsOwnerTile) {
+  ShardedEventQueue queue(4);
+  queue.Push(1.0, 3, [] {});
+  ShardedEventQueue::Popped popped = queue.Pop();
+  EXPECT_DOUBLE_EQ(popped.when, 1.0);
+  EXPECT_EQ(popped.tile, 3u);
+}
+
+TEST(ShardedEventQueueTest, DrainOrderMatchesEventQueueForRandomLoads) {
+  // The structural determinism gate: any interleaving of pushes across
+  // tiles drains in exactly the single-queue order. Exercises duplicate
+  // timestamps and interleaved pops (pop a prefix, push more, drain).
+  Rng rng(0x5EED);
+  EventQueue reference;
+  ShardedEventQueue sharded(5);
+  std::vector<int> reference_order;
+  std::vector<int> sharded_order;
+  int label = 0;
+  for (int round = 0; round < 50; ++round) {
+    const int pushes = 1 + static_cast<int>(rng.Uniform(0.0, 8.0));
+    for (int p = 0; p < pushes; ++p) {
+      // Coarse times force plenty of exact ties.
+      const double when = std::floor(rng.Uniform(0.0, 20.0));
+      const uint32_t tile = static_cast<uint32_t>(rng.Uniform(0.0, 5.0));
+      const int id = label++;
+      reference.Push(when, [&reference_order, id] {
+        reference_order.push_back(id);
+      });
+      sharded.Push(when, tile, [&sharded_order, id] {
+        sharded_order.push_back(id);
+      });
+    }
+    const int pops = static_cast<int>(rng.Uniform(0.0, 4.0));
+    for (int p = 0; p < pops && !reference.Empty(); ++p) {
+      EXPECT_DOUBLE_EQ(sharded.NextTime(), reference.NextTime());
+      reference.Pop().second();
+      sharded.Pop().callback();
+    }
+  }
+  while (!reference.Empty()) {
+    reference.Pop().second();
+    sharded.Pop().callback();
+  }
+  EXPECT_TRUE(sharded.Empty());
+  EXPECT_EQ(sharded_order, reference_order);
+}
+
+TEST(ShardedEventQueueTest, HandoffsFlushIntoTargetCalendars) {
+  ShardedEventQueue queue(3);
+  std::vector<int> order;
+  queue.Push(2.0, 0, [&] { order.push_back(2); });
+  // Two cross-tile schedules buffered on source tile 1.
+  queue.PushHandoff(1.0, 1, 2, [&] { order.push_back(1); });
+  queue.PushHandoff(3.0, 1, 0, [&] { order.push_back(3); });
+  EXPECT_EQ(queue.Size(), 3u);
+  EXPECT_EQ(queue.TileSize(1), 2u);  // Buffered entries count as source's.
+  queue.FlushHandoffs(1);
+  EXPECT_EQ(queue.TileSize(1), 0u);
+  EXPECT_EQ(queue.TileSize(2), 1u);
+  EXPECT_EQ(queue.TileSize(0), 2u);
+  EXPECT_EQ(queue.handoffs(), 2u);
+  while (!queue.Empty()) queue.Pop().callback();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ShardedEventQueueTest, HandoffPreservesGlobalSeqOrderOnTies) {
+  // A buffered handoff and a direct push at the same timestamp keep their
+  // scheduling order after the flush: seq is assigned at PushHandoff time,
+  // not at flush time.
+  ShardedEventQueue queue(2);
+  std::vector<int> order;
+  queue.PushHandoff(5.0, 0, 1, [&] { order.push_back(1); });  // seq 1.
+  queue.Push(5.0, 1, [&] { order.push_back(2); });            // seq 2.
+  queue.FlushHandoffs(0);
+  while (!queue.Empty()) queue.Pop().callback();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(ShardedEventQueueTest, CancelCalendaredEntry) {
+  ShardedEventQueue queue(2);
+  bool ran = false;
+  const EventId id = queue.Push(1.0, 0, [&] { ran = true; });
+  queue.Push(2.0, 1, [] {});
+  EXPECT_TRUE(queue.Cancel(id));
+  EXPECT_FALSE(queue.Cancel(id));  // Idempotent.
+  EXPECT_EQ(queue.Size(), 1u);
+  EXPECT_DOUBLE_EQ(queue.NextTime(), 2.0);
+  queue.Pop().callback();
+  EXPECT_TRUE(queue.Empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(ShardedEventQueueTest, CancelBufferedHandoff) {
+  // Cancelled while still in the handoff buffer: the flush retires it
+  // without it ever entering the target calendar.
+  ShardedEventQueue queue(2);
+  bool ran = false;
+  const EventId id = queue.PushHandoff(1.0, 0, 1, [&] { ran = true; });
+  queue.Push(2.0, 0, [] {});
+  EXPECT_TRUE(queue.Cancel(id));
+  EXPECT_EQ(queue.Size(), 1u);
+  queue.FlushHandoffs(0);
+  EXPECT_EQ(queue.TileSize(1), 0u);
+  queue.Pop().callback();
+  EXPECT_TRUE(queue.Empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(ShardedEventQueueTest, CancelAfterPopReturnsFalse) {
+  ShardedEventQueue queue(2);
+  const EventId id = queue.Push(1.0, 0, [] {});
+  queue.Pop().callback();
+  EXPECT_FALSE(queue.Cancel(id));
+  EXPECT_FALSE(queue.Cancel(kInvalidEventId));
+  EXPECT_FALSE(queue.Cancel(999));  // Never existed.
+}
+
+TEST(ShardedEventQueueTest, TilePeakTracksHighWater) {
+  ShardedEventQueue queue(2);
+  const EventId a = queue.Push(1.0, 0, [] {});
+  queue.Push(2.0, 0, [] {});
+  EXPECT_EQ(queue.TilePeak(0), 2u);
+  EXPECT_TRUE(queue.Cancel(a));
+  EXPECT_EQ(queue.TileSize(0), 1u);
+  EXPECT_EQ(queue.TilePeak(0), 2u);  // Peak survives the cancel.
+  queue.Push(3.0, 1, [] {});
+  EXPECT_EQ(queue.TilePeak(1), 1u);
+}
+
+TEST(ShardedEventQueueTest, ClearDropsEverythingIncludingBufferedHandoffs) {
+  ShardedEventQueue queue(3);
+  queue.Push(1.0, 0, [] {});
+  queue.PushHandoff(2.0, 1, 2, [] {});
+  queue.Clear();
+  EXPECT_TRUE(queue.Empty());
+  EXPECT_EQ(queue.TileSize(0), 0u);
+  EXPECT_EQ(queue.TileSize(1), 0u);
+  // The queue is reusable after Clear (slots recycled, seqs keep rising).
+  std::vector<int> order;
+  queue.Push(1.0, 2, [&] { order.push_back(1); });
+  queue.Pop().callback();
+  EXPECT_EQ(order, (std::vector<int>{1}));
+}
+
+TEST(ShardedEventQueueTest, ManyTilesManyEntriesStressDrain) {
+  // Larger randomized soak: interleaves direct pushes, handoffs with
+  // immediate flushes, and cancellations, then checks the drain is sorted
+  // by (when, seq) with no entry lost or duplicated.
+  Rng rng(0xC0FFEE);
+  ShardedEventQueue queue(16);
+  std::vector<std::pair<double, int>> expected;
+  std::vector<std::pair<double, int>> drained;
+  std::vector<EventId> cancellable;
+  int label = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const double when = std::floor(rng.Uniform(0.0, 100.0));
+    const uint32_t tile = static_cast<uint32_t>(rng.Uniform(0.0, 16.0));
+    const int id = label++;
+    EventId event;
+    if (rng.Uniform(0.0, 1.0) < 0.3) {
+      const uint32_t target = static_cast<uint32_t>(rng.Uniform(0.0, 16.0));
+      event = queue.PushHandoff(when, tile, target,
+                                [&drained, when, id] {
+                                  drained.push_back({when, id});
+                                });
+      queue.FlushHandoffs(tile);
+    } else {
+      event = queue.Push(when, tile, [&drained, when, id] {
+        drained.push_back({when, id});
+      });
+    }
+    if (rng.Uniform(0.0, 1.0) < 0.1) {
+      cancellable.push_back(event);
+      continue;  // Will cancel below; not expected in the drain.
+    }
+    expected.push_back({when, id});
+  }
+  for (EventId id : cancellable) EXPECT_TRUE(queue.Cancel(id));
+  EXPECT_EQ(queue.Size(), expected.size());
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  while (!queue.Empty()) queue.Pop().callback();
+  EXPECT_EQ(drained, expected);
+}
+
+}  // namespace
+}  // namespace madnet::sim

@@ -1,0 +1,115 @@
+// Copyright (c) 2026 madnet authors. All rights reserved.
+//
+// Geometry contract of the shard tile grid (docs/SHARDING.md): floor-rule
+// boundary ownership, far-edge clamping, and exact disc/tile overlap
+// (ghost regions) — the invariants the deterministic sharding argument
+// leans on.
+
+#include "sim/tile_grid.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace madnet::sim {
+namespace {
+
+TEST(TileGridTest, SingleTileCoversEverything) {
+  TileGrid grid(1000.0, 1);
+  EXPECT_EQ(grid.tile_count(), 1u);
+  EXPECT_DOUBLE_EQ(grid.tile_edge_m(), 1000.0);
+  EXPECT_EQ(grid.TileOf({0.0, 0.0}), 0u);
+  EXPECT_EQ(grid.TileOf({999.9, 500.0}), 0u);
+  EXPECT_EQ(grid.TileOf({1000.0, 1000.0}), 0u);
+}
+
+TEST(TileGridTest, RowMajorTileIds) {
+  TileGrid grid(1000.0, 4);  // 250 m tiles.
+  EXPECT_EQ(grid.per_side(), 4u);
+  EXPECT_EQ(grid.tile_count(), 16u);
+  EXPECT_EQ(grid.TileOf({10.0, 10.0}), 0u);
+  EXPECT_EQ(grid.TileOf({260.0, 10.0}), 1u);
+  EXPECT_EQ(grid.TileOf({10.0, 260.0}), 4u);
+  EXPECT_EQ(grid.TileOf({990.0, 990.0}), 15u);
+}
+
+TEST(TileGridTest, InteriorSeamBelongsToUpperTile) {
+  // Floor semantics: a coordinate exactly on an interior boundary is owned
+  // by the tile above/right of it — deterministically, in every run.
+  TileGrid grid(1000.0, 4);
+  EXPECT_EQ(grid.ColumnOf(250.0), 1u);
+  EXPECT_EQ(grid.ColumnOf(249.999999), 0u);
+  EXPECT_EQ(grid.RowOf(500.0), 2u);
+  EXPECT_EQ(grid.TileOf({250.0, 250.0}), 5u);  // Corner of four tiles.
+}
+
+TEST(TileGridTest, ArenaEdgesClampIntoBorderTiles) {
+  TileGrid grid(1000.0, 4);
+  // The far edge would floor to column 4; it clamps into the last tile.
+  EXPECT_EQ(grid.ColumnOf(1000.0), 3u);
+  EXPECT_EQ(grid.RowOf(1000.0), 3u);
+  // Transient float spill outside the arena clamps too.
+  EXPECT_EQ(grid.ColumnOf(-0.001), 0u);
+  EXPECT_EQ(grid.ColumnOf(1000.001), 3u);
+  EXPECT_EQ(grid.TileOf({-5.0, 2000.0}), 12u);
+}
+
+TEST(TileGridTest, DiscInsideOneTileOverlapsOnlyIt) {
+  TileGrid grid(1000.0, 4);
+  std::vector<uint32_t> tiles;
+  grid.TilesOverlapping({125.0, 125.0}, 100.0, &tiles);
+  EXPECT_EQ(tiles, (std::vector<uint32_t>{0}));
+  EXPECT_EQ(grid.CountTilesOverlapping({125.0, 125.0}, 100.0), 1u);
+}
+
+TEST(TileGridTest, DiscAtFourCornerSeamOverlapsFourTiles) {
+  TileGrid grid(1000.0, 4);
+  std::vector<uint32_t> tiles;
+  grid.TilesOverlapping({250.0, 250.0}, 50.0, &tiles);
+  EXPECT_EQ(tiles, (std::vector<uint32_t>{0, 1, 4, 5}));
+  EXPECT_EQ(grid.CountTilesOverlapping({250.0, 250.0}, 50.0), 4u);
+}
+
+TEST(TileGridTest, DiscHuggingACornerExcludesTheDiagonalNeighbour) {
+  // Exact square/disc intersection, not the bounding box. Center
+  // {190, 140}: 60 m from the x=250 seam, 110 m from the y=250 seam, and
+  // sqrt(60^2 + 110^2) ~ 125.3 m from the corner tile 5's nearest point
+  // (250, 250).
+  TileGrid grid(1000.0, 4);
+  const Vec2 center{190.0, 140.0};
+  std::vector<uint32_t> tiles;
+  grid.TilesOverlapping(center, 70.0, &tiles);
+  // Crosses only the vertical seam: tiles 0 and 1.
+  EXPECT_EQ(tiles, (std::vector<uint32_t>{0, 1}));
+  grid.TilesOverlapping(center, 120.0, &tiles);
+  // Radius 120 crosses both seams, so the bounding box covers all four
+  // tiles — but the circle misses the corner (125.3 > 120), so the exact
+  // test must exclude the diagonal neighbour 5.
+  EXPECT_EQ(tiles, (std::vector<uint32_t>{0, 1, 4}));
+  grid.TilesOverlapping(center, 130.0, &tiles);
+  // Now the corner is inside the disc: the diagonal neighbour joins.
+  EXPECT_EQ(tiles, (std::vector<uint32_t>{0, 1, 4, 5}));
+}
+
+TEST(TileGridTest, CountMatchesMaterializedListEverywhere) {
+  TileGrid grid(5000.0, 7);
+  std::vector<uint32_t> tiles;
+  for (double x = 0.0; x <= 5000.0; x += 333.0) {
+    for (double y = 0.0; y <= 5000.0; y += 333.0) {
+      for (double radius : {10.0, 250.0, 900.0}) {
+        grid.TilesOverlapping({x, y}, radius, &tiles);
+        EXPECT_EQ(grid.CountTilesOverlapping({x, y}, radius), tiles.size());
+        EXPECT_TRUE(std::is_sorted(tiles.begin(), tiles.end()));
+        EXPECT_EQ(std::adjacent_find(tiles.begin(), tiles.end()),
+                  tiles.end());
+        // The owner tile of the center is always in its own ghost region.
+        EXPECT_TRUE(std::find(tiles.begin(), tiles.end(),
+                              grid.TileOf({x, y})) != tiles.end());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace madnet::sim

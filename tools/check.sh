@@ -24,6 +24,9 @@ cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 echo "== build =="
 cmake --build "${BUILD_DIR}" -j
 
+echo "== doc links =="
+./tools/check_doc_links.sh
+
 echo "== madnet_lint =="
 "./${BUILD_DIR}/tools/madnet_lint" --root . ${LINT_ARGS[@]+"${LINT_ARGS[@]}"}
 

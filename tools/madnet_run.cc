@@ -69,6 +69,14 @@ int Run(int argc, char** argv) {
   flags.Define("ranking", "false", "enable FM popularity ranking");
   flags.Define("seed", "1", "base random seed");
   flags.Define("reps", "3", "replications (seeds seed..seed+reps-1)");
+  flags.Define("tiles", "1",
+               "event-loop tile grid side K (K x K tiles; 1 = single "
+               "queue, 0 = auto) — an execution plan, results are "
+               "byte-identical at any value (docs/SHARDING.md)");
+  flags.Define("jobs", "1",
+               "worker threads: across replications, and inside each "
+               "run's index rebuild (<= 0 = hardware concurrency); "
+               "results stay byte-identical at any value");
   flags.Define("dump_traces", "",
                "write every node's mobility trace to this file and exit");
   flags.Define("config", "",
@@ -146,7 +154,7 @@ int Run(int argc, char** argv) {
   for (const char* key : {"peers", "area", "radius", "duration", "sim_time",
                           "issue_time", "speed", "speed_delta", "round",
                           "alpha", "beta", "dis", "cache", "range", "loss",
-                          "collisions", "ranking", "issuer_offline",
+                          "collisions", "ranking", "issuer_offline", "tiles",
                           "seed"}) {
     if (!config_path.empty() && !flags.IsSet(key)) continue;
     Status applied =
@@ -194,7 +202,8 @@ int Run(int argc, char** argv) {
   }
 
   const int reps = static_cast<int>(*flags.GetInt("reps"));
-  Aggregate aggregate = RunReplicated(config, reps);
+  const int jobs = static_cast<int>(*flags.GetInt("jobs"));
+  Aggregate aggregate = RunReplicated(config, reps, jobs, jobs);
 
   if (*flags.GetBool("json")) {
     JsonWriter json;
